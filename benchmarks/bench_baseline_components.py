@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the classical baseline components.
+
+Times the CSC building blocks at the paper's problem size (16-dim data,
+16-atom dictionary, 25 samples) so the Table I CPU column can be decomposed
+into its parts, and cross-checks correctness properties while timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.dictionary import mod_update, svd_init_dictionary
+from repro.baselines.ista import fista, ista
+from repro.baselines.omp import omp_batch
+from repro.baselines.pca import PCACompressor
+from repro.data.binary_images import paper_dataset
+from repro.encoding.amplitude import encode_batch
+
+
+@pytest.fixture(scope="module")
+def amplitude_data():
+    X = paper_dataset().matrix()
+    return X, encode_batch(X).amplitudes()
+
+
+def test_omp_batch_cost(benchmark, amplitude_data):
+    _, y = amplitude_data
+    d = svd_init_dictionary(y)
+    codes = benchmark(omp_batch, d, y, 4)
+    assert np.all(np.count_nonzero(codes, axis=0) <= 4)
+
+
+def test_ista_batch_cost(benchmark, amplitude_data):
+    _, y = amplitude_data
+    d = svd_init_dictionary(y)
+    codes = benchmark(ista, d, y, 0.01, 50)
+    assert codes.shape == (16, 25)
+
+
+def test_fista_batch_cost(benchmark, amplitude_data):
+    _, y = amplitude_data
+    d = svd_init_dictionary(y)
+    codes = benchmark(fista, d, y, 0.01, 50)
+    assert codes.shape == (16, 25)
+
+
+def test_mod_update_cost(benchmark, amplitude_data):
+    _, y = amplitude_data
+    d = svd_init_dictionary(y)
+    codes = omp_batch(d, y, 4)
+    d_new = benchmark(mod_update, y, codes)
+    assert np.allclose(np.linalg.norm(d_new, axis=0), 1.0)
+
+
+def test_pca_fit_reconstruct_cost(benchmark, amplitude_data):
+    X, _ = amplitude_data
+
+    def fit_and_reconstruct():
+        return PCACompressor(num_components=4).fit(X).reconstruct(X)
+
+    x_hat = benchmark(fit_and_reconstruct)
+    assert np.allclose(x_hat, X, atol=1e-6)  # rank-4 data, d=4 -> exact

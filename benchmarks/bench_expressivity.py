@@ -1,0 +1,65 @@
+"""Ablation: mesh expressivity vs depth (the DESIGN.md layer-count study).
+
+Measures the tangent rank of the parameter-to-unitary map across layer
+counts, characterising the paper's architecture choice:
+
+- the parameter-count bound says >= ceil(N/2) = 8 layers at N = 16;
+- the measured rank shows full SO(16) coverage only from 16 layers
+  (consistent with the N-column rectangular decompositions of the
+  paper's ref. [19]);
+- the paper's l_C = 12 (rank 114/120) is sufficient *for rank-4 data*,
+  which is why Fig. 4 converges anyway.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import render_records
+from repro.network.expressivity import (
+    layer_coverage_report,
+    minimum_layers,
+    parameter_dimension,
+    universal_layers,
+)
+
+
+def test_layer_coverage_n16(benchmark):
+    records = benchmark.pedantic(
+        layer_coverage_report,
+        args=(16, [8, 10, 12, 14, 16]),
+        kwargs={"seed": 2},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_records(records, title="tangent rank vs depth (N = 16)"))
+    by_layers = {r["layers"]: r for r in records}
+    # Rank grows monotonically with depth...
+    ranks = [by_layers[l]["tangent_rank"] for l in (8, 10, 12, 14, 16)]
+    assert ranks == sorted(ranks)
+    # ...the parameter-count bound is necessary but not sufficient...
+    assert not by_layers[minimum_layers(16)]["locally_universal"]
+    # ...and universality arrives at N layers.
+    assert by_layers[universal_layers(16)]["locally_universal"]
+    assert by_layers[16]["tangent_rank"] == parameter_dimension(16)
+    # The paper's architecture: close to, but short of, universal.
+    assert 110 <= by_layers[12]["tangent_rank"] < 120
+
+
+def test_layer_coverage_small_dims(benchmark):
+    """The N-layers-for-universality pattern holds across dimensions."""
+
+    def collect():
+        out = {}
+        for dim in (4, 6, 8):
+            records = layer_coverage_report(
+                dim, [dim // 2, dim - 1, dim], seed=3
+            )
+            out[dim] = records
+        return out
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    for dim, records in results.items():
+        by_layers = {r["layers"]: r for r in records}
+        assert by_layers[dim]["locally_universal"], f"N={dim}"

@@ -1,0 +1,69 @@
+"""Reproduce Fig. 4e/f: amplitude convergence of the traced sample.
+
+The paper plots, for "Figure 25" (sample index 24), the per-iteration
+output amplitudes (panel e) and compressed amplitudes (panel f), observing
+that "the amplitudes are trained near the target value and stabilize after
+50 training iterations".
+
+This bench regenerates both traces and asserts:
+- the final output amplitudes match the sample's encoded amplitudes
+  (the L_R target) closely;
+- the compressed trace is supported on the kept subspace only;
+- a stabilisation point exists: late-trace movement is far smaller than
+  early-trace movement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+from repro.utils.ascii_art import render_curve_ascii
+
+
+def test_fig4ef_amplitude_traces(benchmark, paper_config):
+    result = benchmark.pedantic(
+        run_fig4, args=(paper_config,), rounds=1, iterations=1
+    )
+    out_trace = result.output_trace        # (Ite, N)
+    comp_trace = result.compressed_trace   # (Ite, N)
+    assert out_trace.shape == (paper_config.iterations, paper_config.dim)
+
+    # Panel e: plot the dominant output amplitude.
+    idx = int(np.argmax(np.abs(out_trace[-1])))
+    print()
+    print(
+        render_curve_ascii(
+            out_trace[:, idx],
+            title=f"Fig. 4e: output amplitude B[{idx}] of sample 25",
+        )
+    )
+    cidx = int(np.argmax(np.abs(comp_trace[-1])))
+    print(
+        render_curve_ascii(
+            comp_trace[:, cidx],
+            title=f"Fig. 4f: compressed amplitude a[{cidx}] of sample 25",
+        )
+    )
+
+    # The L_R target for the traced sample is its encoded amplitude vector.
+    enc = result.training_result.autoencoder.codec.encode(
+        result.input_images.reshape(25, 16)
+    )
+    target = enc.amplitudes()[:, paper_config.trace_sample]
+    final_err = np.max(np.abs(out_trace[-1] - target))
+    assert final_err < 0.05, "output amplitudes should sit near the target"
+
+    # Compressed states live in the kept subspace (Eq. 3).
+    keep = result.training_result.autoencoder.projection.keep
+    trash = np.setdiff1d(np.arange(paper_config.dim), keep)
+    assert np.allclose(comp_trace[:, trash], 0.0)
+
+    # "Stabilize after 50 training iterations": movement in the last third
+    # is much smaller than in the first third.
+    def movement(block):
+        return float(np.abs(np.diff(block, axis=0)).mean())
+
+    third = paper_config.iterations // 3
+    assert movement(out_trace[-third:]) < movement(out_trace[:third]) * 0.5

@@ -1,0 +1,57 @@
+"""Reproduce Fig. 4g: theta parameter trajectories.
+
+The paper shows theta updating over 150 iterations with "the update
+gradient of theta decreases to 0 and the theta stabilize in [0, 2*pi]".
+
+This bench regenerates the trajectories and asserts:
+- parameters move early and freeze late (trajectory flattens);
+- gradient norms decay by an order of magnitude;
+- wrapped parameters lie in [0, 2*pi) (the paper's plotting convention —
+  raw angles are unconstrained, the physical reflectivity is periodic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+from repro.utils.ascii_art import render_curve_ascii
+
+
+def test_fig4g_theta_trajectories(benchmark, paper_config):
+    result = benchmark.pedantic(
+        run_fig4, args=(paper_config,), rounds=1, iterations=1
+    )
+    theta_c = result.theta_c  # (Ite, 180)
+    theta_r = result.theta_r  # (Ite, 210)
+    assert theta_c.shape == (
+        paper_config.iterations,
+        paper_config.uc_parameter_count,
+    )
+    assert theta_r.shape == (
+        paper_config.iterations,
+        paper_config.ur_parameter_count,
+    )
+
+    drift_c = np.linalg.norm(theta_c - theta_c[0], axis=1)
+    print()
+    print(
+        render_curve_ascii(
+            drift_c, title="Fig. 4g: ||theta_C(t) - theta_C(0)||"
+        )
+    )
+    grad = np.asarray(result.history.grad_norm_c)
+    print(render_curve_ascii(grad, title="gradient norm ||dL_C/dtheta||",
+                             logy=True))
+
+    # Parameters move, then stabilise: last-10 movement << first-10.
+    step_sizes = np.linalg.norm(np.diff(theta_c, axis=0), axis=1)
+    assert step_sizes[-10:].mean() < step_sizes[:10].mean() * 0.5
+
+    # Gradient decays strongly (paper: "drops to 0").
+    assert grad[-5:].mean() < grad[:5].mean() * 0.2
+
+    # Wrapped angles live in [0, 2*pi) (Fig. 4g's plotted range).
+    wrapped = np.mod(theta_c[-1], 2 * np.pi)
+    assert wrapped.min() >= 0.0 and wrapped.max() < 2 * np.pi

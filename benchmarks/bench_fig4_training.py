@@ -1,0 +1,75 @@
+"""Reproduce Fig. 4a-d: the main training experiment.
+
+Regenerates the input/reconstruction image grids, the L_C/L_R loss curves
+and the accuracy curve; prints each panel (run with ``-s`` to see them)
+and checks the paper's qualitative claims:
+
+- both losses approach ~0 over training (paper: min L_C = 0.017,
+  min L_R = 0.023);
+- reconstruction accuracy reaches the high-90s (paper: 97.75 %);
+- gradient norms decay towards zero (paper Fig. 4g commentary).
+
+Run:  pytest benchmarks/bench_fig4_training.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.reporting import render_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4_result(paper_config):
+    return run_fig4(paper_config)
+
+
+def test_fig4_full_run(benchmark, paper_config):
+    """Time one full Section IV-A training run and verify every panel.
+
+    (The paper's 575.67 s Table-I row was Matlab + finite differences;
+    the adjoint fast path is this library's default.)
+    """
+    result = benchmark.pedantic(
+        run_fig4, args=(paper_config,), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig4(result))
+
+    h = result.history
+    assert h.num_iterations == paper_config.iterations
+    # Fig. 4c shape: losses drop by 2+ orders of magnitude towards ~0.
+    assert h.loss_c[-1] < h.loss_c[0] * 0.01
+    assert h.loss_r[-1] < h.loss_r[0] * 0.01
+    assert result.min_loss_c < 0.1
+    assert result.min_loss_r < 0.1
+    # Fig. 4d shape: accuracy well above the untrained baseline.  Paper:
+    # 97.75 %; measured per-budget values are recorded in EXPERIMENTS.md
+    # (92.25 @150, 97.50 @200, 99.75 @300 iterations, default seed).
+    assert result.max_accuracy > 90.0
+    # Fig. 4b: thresholded reconstructions agree with inputs pixel-wise.
+    agree = (
+        abs(result.output_images - result.input_images) <= 0.01
+    ).mean() * 100.0
+    assert agree > 90.0
+    # "The update gradient of theta decreases to 0."
+    early = sum(h.grad_norm_r[:10]) / 10.0
+    late = sum(h.grad_norm_r[-10:]) / 10.0
+    assert late < early * 0.5
+
+
+def test_fig4_paper_faithful_fd_gd_variant(benchmark, paper_config):
+    """The literal Algorithm-1 configuration: plain GD + forward finite
+    differences (Delta = 1e-8).  Slower per iteration and slower to
+    converge (see EXPERIMENTS.md, 'Algorithm 1 ambiguity'); run at a
+    reduced budget, asserting only the convergence direction."""
+    cfg = paper_config.with_(
+        iterations=20, optimizer="gd", gradient_method="fd"
+    )
+    result = benchmark.pedantic(
+        run_fig4, args=(cfg,), rounds=1, iterations=1
+    )
+    h = result.history
+    assert h.loss_c[-1] < h.loss_c[0]
+    assert h.loss_r[-1] < h.loss_r[0]

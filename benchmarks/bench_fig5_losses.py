@@ -1,0 +1,59 @@
+"""Reproduce Fig. 5c: QN-based vs CSC-based training-loss comparison.
+
+The paper trains both methods on the same dataset with same-size (16x16)
+operators and finds "the training loss of the QN-based algorithm is much
+lower than that of the CSC-based algorithm".
+
+Asserted shape:
+- both curves decrease;
+- at the full budget the QN final loss is below the gradient-CSC's;
+- the strong classical variant (MOD+OMP) is reported alongside for
+  calibration (it solves the rank-4 dataset exactly — the paper's
+  superiority claim is specifically against its gradient-trained CSC).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.reporting import render_fig5
+
+
+def test_fig5c_qn_vs_gradient_csc(benchmark, paper_config):
+    result = benchmark.pedantic(
+        run_fig5, args=(paper_config,), rounds=1, iterations=1
+    )
+    print()
+    print(render_fig5(result))
+
+    qn, csc = result.qn_loss, result.csc_loss
+    assert len(qn) == len(csc) == paper_config.iterations
+    assert qn[-1] < qn[0]
+    assert csc[-1] <= csc[0]
+    # The paper's headline: QN ends lower than its CSC comparator.
+    assert result.qn_wins_loss, (
+        f"QN final loss {result.qn_final_loss:.4f} should be below CSC "
+        f"{result.csc_final_loss:.4f}"
+    )
+
+
+def test_fig5c_strong_classical_reference(benchmark, paper_config):
+    """Beyond the paper: the closed-form classical pipeline (MOD + OMP).
+
+    On the exactly rank-4 dataset this solves the problem to numerical
+    zero — documenting that the paper's 'quantum superiority' is an
+    optimisation-speed claim against gradient sparse coding, not an
+    expressivity claim against classical methods at large.
+    """
+    cfg = paper_config.with_(iterations=30)
+    result = benchmark.pedantic(
+        run_fig5,
+        args=(cfg,),
+        kwargs={"csc_update": "mod", "csc_coder": "omp"},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_fig5(result))
+    assert result.csc_loss[-1] < 1e-6

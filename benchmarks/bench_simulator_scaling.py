@@ -1,0 +1,64 @@
+"""Performance bench (exp id perf): simulator scaling.
+
+Not a paper artefact — this characterises the substrate so the other
+benches' timings are interpretable:
+
+- forward cost per layer scales ~O(N * M) (N-1 gates, two rows each);
+- the adjoint gradient costs a small constant multiple of a forward pass,
+  independent of the parameter count (vs. FD's (P+1)x);
+- chunked propagation matches unchunked output while bounding memory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.quantum_network import QuantumNetwork
+from repro.parallel.batch import chunked_forward
+from repro.training.gradients import loss_and_gradient
+
+
+@pytest.mark.parametrize("dim", [8, 16, 32, 64, 128])
+def test_forward_scaling_with_dimension(benchmark, dim):
+    rng = np.random.default_rng(dim)
+    net = QuantumNetwork(dim, 4).initialize("uniform", rng=rng)
+    x = rng.normal(size=(dim, 64))
+    x /= np.linalg.norm(x, axis=0)
+    out = benchmark(net.forward, x)
+    assert np.allclose(np.linalg.norm(out, axis=0), 1.0, atol=1e-9)
+
+
+@pytest.mark.parametrize("batch", [16, 256, 4096])
+def test_forward_scaling_with_batch(benchmark, batch):
+    rng = np.random.default_rng(batch)
+    net = QuantumNetwork(16, 12).initialize("uniform", rng=rng)
+    x = rng.normal(size=(16, batch))
+    out = benchmark(net.forward, x)
+    assert out.shape == (16, batch)
+
+
+def test_adjoint_gradient_overhead(benchmark):
+    """The adjoint gradient should cost only a few forward passes."""
+    rng = np.random.default_rng(0)
+    net = QuantumNetwork(16, 12).initialize("uniform", rng=rng)
+    x = rng.normal(size=(16, 25))
+    x /= np.linalg.norm(x, axis=0)
+    t = rng.normal(size=(16, 25))
+    t /= np.linalg.norm(t, axis=0)
+    loss, grad = benchmark(loss_and_gradient, net, x, t, method="adjoint")
+    assert grad.shape == (180,)
+
+
+def test_chunked_forward_large_batch(benchmark):
+    rng = np.random.default_rng(1)
+    net = QuantumNetwork(16, 12).initialize("uniform", rng=rng)
+    x = rng.normal(size=(16, 20000))
+    out = benchmark.pedantic(
+        chunked_forward,
+        args=(net, x),
+        kwargs={"chunk_size": 2048},
+        rounds=1,
+        iterations=1,
+    )
+    assert np.allclose(out[:, :50], net.forward(x[:, :50]), atol=1e-12)

@@ -1,0 +1,64 @@
+"""Reproduce Table I: "Quantum Superiority Analysis".
+
+Paper reference:
+
+=========  ========  =========  ===========
+Method     Accuracy  CPU Runs   Matrix Size
+=========  ========  =========  ===========
+QN-based   97.75 %   575.67 s   16*16
+CSC-based  93.63 %   763.83 s   16*16
+=========  ========  =========  ===========
+
+Shape asserted here: the QN row beats the (gradient/ISTA) CSC row on
+accuracy at the full training budget, with equal matrix sizes.  Absolute
+CPU seconds are hardware/implementation-bound (the paper timed Matlab
+with finite-difference gradients; this library's default is the exact
+adjoint) — both the adjoint and FD-timed QN rows are printed so the
+runtime comparison can be read either way.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+from repro.experiments.reporting import render_table1
+
+
+def test_table1_reproduction(benchmark, paper_config):
+    rows = benchmark.pedantic(
+        run_table1,
+        args=(paper_config,),
+        kwargs={"include_strong_csc": True},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_table1(rows))
+
+    by_method = {r.method: r for r in rows}
+    qn = by_method["QN-based"]
+    csc = by_method["CSC-based"]
+    # Paper shape: QN-based accuracy exceeds the CSC comparator's.
+    assert qn.accuracy_pct > csc.accuracy_pct
+    # Same operator budget, as in the paper.
+    assert qn.matrix_size == csc.matrix_size == "16*16"
+    # QN also ends at the lower training loss (Fig. 5c cross-check).
+    assert qn.final_loss < csc.final_loss
+    # The strong classical row is the calibration upper bound.
+    strong = by_method["CSC-MOD/OMP"]
+    assert strong.accuracy_pct >= csc.accuracy_pct
+
+
+def test_table1_fd_timed_qn_row(benchmark):
+    """Time the QN training the way the paper did (forward finite
+    differences): this is the row comparable to Table I's 575.67 s in
+    spirit — FD training is ~(P+1)x the adjoint's cost per iteration."""
+    from repro.experiments.config import PaperConfig
+    from repro.experiments.fig4 import run_fig4
+
+    cfg = PaperConfig(iterations=10, gradient_method="fd")
+    result = benchmark.pedantic(
+        run_fig4, args=(cfg,), rounds=1, iterations=1
+    )
+    assert result.history.num_iterations == 10

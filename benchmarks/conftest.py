@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Each ``bench_*`` module regenerates one table or figure of the paper: the
+benchmark fixture times the computation, and the test body prints the same
+rows/series the paper reports and asserts the qualitative *shape* (who
+wins, convergence direction, knee positions) without pinning absolute
+numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import PaperConfig
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> PaperConfig:
+    """The full Section IV-A configuration (150 iterations)."""
+    return PaperConfig()
+
+
+@pytest.fixture(scope="session")
+def quick_config() -> PaperConfig:
+    """A reduced-budget configuration for the heavier sweeps."""
+    return PaperConfig(
+        iterations=60, compression_layers=8, reconstruction_layers=10
+    )

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""QN vs classical sparse coding: Fig. 5c and Table I in one script.
+
+Trains the quantum network and the CSC baseline (gradient dictionary +
+ISTA codes, the paper's comparator) on the same dataset with the same
+iteration budget, then prints the loss curves, Table I, and — beyond the
+paper — the strong classical references (MOD+OMP dictionary learning,
+PCA, truncated SVD) that calibrate what 'quantum superiority' is measured
+against.
+
+Run:  python examples/csc_comparison.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import PCACompressor, truncated_svd_reconstruction
+from repro.experiments import PaperConfig, run_fig5, run_table1
+from repro.experiments.reporting import render_fig5, render_table1
+from repro.training.metrics import paper_accuracy
+
+
+def main() -> None:
+    config = PaperConfig()
+    print("=== Fig. 5 reproduction (QN vs gradient/ISTA CSC) ===")
+    fig5 = run_fig5(config)
+    print(render_fig5(fig5))
+
+    print("\n=== Table I reproduction ===")
+    rows = run_table1(config, include_strong_csc=True)
+    print(render_table1(rows))
+
+    # Extra calibration lines (not in the paper): linear-optimum codes.
+    X = config.dataset().matrix()
+    pca = PCACompressor(num_components=config.compressed_dim).fit(X)
+    pca_acc = paper_accuracy(pca.reconstruct(X), X)
+    x_svd, err = truncated_svd_reconstruction(X, config.compressed_dim)
+    svd_acc = paper_accuracy(np.clip(x_svd, 0.0, None), X)
+    print("\n=== Classical calibration (beyond the paper) ===")
+    print(f"PCA (d={config.compressed_dim})             accuracy: {pca_acc:6.2f}%")
+    print(f"truncated SVD (rank {config.compressed_dim}) accuracy: {svd_acc:6.2f}%"
+          f"   residual energy: {err:.3g}")
+    print(
+        "\nReading: the paper's superiority claim holds against its "
+        "gradient-trained CSC comparator;\nclosed-form classical methods "
+        "(MOD/OMP, PCA, SVD) solve this rank-4 dataset exactly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Why the paper's experiment works: dataset + target feasibility analysis.
+
+Before training anything, this example answers three questions with the
+analysis toolbox:
+
+1. How compressible is the dataset?  (spectrum, accuracy ceiling per d)
+2. Which compression targets are unitarily feasible?  (Gram/Procrustes)
+3. How deep must the mesh be?  (tangent-rank expressivity)
+
+Together these *predict* the Fig. 4 outcome — high-90s accuracy at d = 4
+with 12 layers — without running a single training iteration.
+
+Run:  python examples/dataset_analysis.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import (
+    accuracy_ceiling,
+    compressibility_report,
+    unitary_map_exists,
+    unitary_map_residual,
+)
+from repro.data import paper_dataset, random_binary_dataset
+from repro.encoding.amplitude import encode_batch
+from repro.network import Projection, layer_coverage_report
+from repro.network.targets import TruncatedInputTarget, UniformSubspaceTarget
+from repro.utils.ascii_art import render_table
+
+
+def main() -> None:
+    ds = paper_dataset()
+    X = ds.matrix()
+    print(f"dataset: {ds}, rank {ds.rank()}, "
+          f"effective rank (99%): {ds.effective_rank()}")
+
+    # 1. Compressibility: where is the knee?
+    records = compressibility_report(X, max_d=8)
+    rows = [
+        {
+            "d": r["d"],
+            "accuracy ceiling": f"{r['accuracy_ceiling_pct']:.1f}%",
+            "retained energy": f"{r['retained_energy']:.4f}",
+        }
+        for r in records
+    ]
+    print()
+    print(render_table(rows, title="1. accuracy ceiling per budget d"))
+    print("-> d = 4 is the smallest budget with a 100% ceiling: the "
+          "paper's operating point.")
+
+    # 2. Target feasibility.
+    enc = encode_batch(X)
+    proj = Projection.last(16, 4)
+    uniform = UniformSubspaceTarget(proj).targets(enc)
+    pca = TruncatedInputTarget.from_pca(proj, X).targets(enc)
+    uni_ok = unitary_map_exists(enc.amplitudes(), uniform)
+    pca_ok = unitary_map_exists(enc.amplitudes(), pca)
+    uni_floor, _ = unitary_map_residual(enc.amplitudes(), uniform)
+    pca_floor, _ = unitary_map_residual(enc.amplitudes(), pca)
+    print()
+    print(render_table(
+        [
+            {"target": "uniform b_i (paper's worked example)",
+             "feasible": str(uni_ok), "Procrustes floor": f"{uni_floor:.3f}"},
+            {"target": "PCA-mixed truncated input (default)",
+             "feasible": str(pca_ok), "Procrustes floor": f"{pca_floor:.2e}"},
+        ],
+        title="2. compression-target feasibility",
+    ))
+    print("-> the shared uniform target cannot be reached by any unitary; "
+          "the per-sample PCA target can.")
+
+    # 3. Mesh depth.
+    coverage = layer_coverage_report(16, [8, 12, 16], seed=0)
+    print()
+    print(render_table(
+        [
+            {
+                "layers": r["layers"],
+                "parameters": r["num_parameters"],
+                "tangent rank": f"{r['tangent_rank']}/120",
+                "universal": str(r["locally_universal"]),
+            }
+            for r in coverage
+        ],
+        title="3. mesh expressivity (SO(16) needs rank 120)",
+    ))
+    print("-> the paper's 12 layers are not fully universal, but rank-4 "
+          "data only needs a 4-dim subspace rotated into place.")
+
+    # Contrast: a random binary dataset has no exploitable structure.
+    rnd = random_binary_dataset(25, image_size=4, seed=1)
+    ceiling = accuracy_ceiling(rnd.matrix(), d=4)
+    print(
+        f"\ncontrast — random binary 25x16 dataset: rank {rnd.rank()}, "
+        f"d=4 ceiling {ceiling['accuracy_ceiling_pct']:.1f}% "
+        f"(retained energy {ceiling['retained_energy']:.3f})"
+    )
+    print("-> no compression scheme, quantum or classical, can reproduce "
+          "Fig. 4 on unstructured data.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Grayscale 8x8 compression: the pipeline beyond binary 4x4 images.
+
+The paper's pipeline is not limited to binary inputs — Eq. (1) encodes any
+non-negative vector.  This example compresses 16 synthetic 8x8 grayscale
+images (64-dimensional states on 6 qubits) into d = 8 amplitude channels
+(an 8x compression of the quantum payload) and reports PSNR/SSIM alongside
+the paper's Eq. (10) accuracy.
+
+Run:  python examples/grayscale_compression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import QuantumAutoencoder, Trainer
+from repro.data import grayscale_dataset
+from repro.network.targets import TruncatedInputTarget
+from repro.training.metrics import pixel_accuracy, psnr, ssim
+from repro.training.optimizers import Adam
+from repro.utils.ascii_art import render_image_ascii
+
+
+def main() -> None:
+    dataset = grayscale_dataset(num_samples=16, size=8, seed=5)
+    X = dataset.matrix()
+    print(f"dataset: {dataset}")
+    print(
+        f"effective rank (99% energy): {dataset.effective_rank()} of "
+        f"{dataset.dim} dims"
+    )
+
+    d = 8
+    ae = QuantumAutoencoder(
+        dim=64, compressed_dim=d,
+        compression_layers=10, reconstruction_layers=12,
+    ).initialize("uniform", rng=np.random.default_rng(1))
+    trainer = Trainer(
+        iterations=120,
+        gradient_method="adjoint",
+        optimizer_factory=lambda: Adam(0.05),
+    )
+    target = TruncatedInputTarget.from_pca(ae.projection, X)
+    result = trainer.train(ae, X, target_strategy=target)
+    out = ae.forward(X)
+
+    print(f"\nfinal L_C={result.final_loss_c:.4f} L_R={result.final_loss_r:.4f}")
+    print(f"retained probability: {np.mean(out.retained_probability):.4f}")
+    per_image_psnr = [
+        psnr(out.x_hat[i].reshape(8, 8), dataset.image(i))
+        for i in range(len(dataset))
+    ]
+    per_image_ssim = [
+        ssim(out.x_hat[i].reshape(8, 8), dataset.image(i))
+        for i in range(len(dataset))
+    ]
+    print(f"mean PSNR: {np.mean(per_image_psnr):.2f} dB")
+    print(f"mean SSIM: {np.mean(per_image_ssim):.4f}")
+    print(
+        "pixel accuracy (|err| <= 0.05): "
+        f"{pixel_accuracy(out.x_hat, X, tol=0.05):.2f}%"
+    )
+
+    worst = int(np.argmin(per_image_psnr))
+    print(f"\nworst image ({worst}), input:")
+    print(render_image_ascii(dataset.image(worst)))
+    print("\nreconstruction:")
+    print(render_image_ascii(np.clip(out.x_hat[worst].reshape(8, 8), 0, 1)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""repro — reproduction of "Image Compression and Reconstruction Based on
+Quantum Network" (Ji, Liu, Huang, Chen, Wu; IPPS 2024, arXiv:2404.11994).
+
+The package implements the paper's quantum-network image autoencoder and
+every substrate it depends on, from the statevector simulator up to the
+experiment harness that regenerates each figure and table:
+
+- :mod:`repro.simulator` — batched statevector simulation of beamsplitter
+  circuits;
+- :mod:`repro.optics` — multiport-interferometer realisation (Clements/Reck
+  meshes, imperfection models);
+- :mod:`repro.encoding` — amplitude encoding/decoding (Eqs. 1-2);
+- :mod:`repro.network` — the compression/reconstruction networks and
+  projections (Eqs. 3-4, 6);
+- :mod:`repro.training` — Algorithm 1 (losses, gradients, optimizers,
+  metrics);
+- :mod:`repro.baselines` — the CSC sparse-coding comparator (Fig. 5,
+  Table I) and PCA/SVD references;
+- :mod:`repro.data` — deterministic image datasets (the 25 binary 4x4
+  images of Fig. 4a and generators);
+- :mod:`repro.experiments` — one entry point per paper artefact (fig4,
+  fig5, table1) plus ablations;
+- :mod:`repro.parallel` — chunked batch execution and multiprocessing
+  sweeps;
+- :mod:`repro.io` — model/result/image serialisation.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import QuantumAutoencoder, Trainer
+>>> from repro.data import paper_dataset
+>>> X = paper_dataset().matrix()                    # 25 x 16 binary images
+>>> ae = QuantumAutoencoder(dim=16, compressed_dim=4,
+...                         compression_layers=12, reconstruction_layers=14)
+>>> _ = ae.initialize("uniform", rng=np.random.default_rng(7))
+>>> result = Trainer(iterations=30).train(ae, X)    # doctest: +SKIP
+"""
+
+from repro.encoding import AmplitudeCodec, encode_batch, decode_batch
+from repro.network import (
+    GateLayer,
+    Projection,
+    QuantumAutoencoder,
+    QuantumNetwork,
+    UniformSubspaceTarget,
+    TruncatedInputTarget,
+)
+from repro.simulator import Circuit, QuantumState, StateBatch
+from repro.training import (
+    Trainer,
+    TrainingHistory,
+    TrainingResult,
+    SquaredErrorLoss,
+    GradientDescent,
+    Adam,
+    pixel_accuracy,
+    paper_accuracy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AmplitudeCodec",
+    "encode_batch",
+    "decode_batch",
+    "GateLayer",
+    "Projection",
+    "QuantumAutoencoder",
+    "QuantumNetwork",
+    "UniformSubspaceTarget",
+    "TruncatedInputTarget",
+    "Circuit",
+    "QuantumState",
+    "StateBatch",
+    "Trainer",
+    "TrainingHistory",
+    "TrainingResult",
+    "SquaredErrorLoss",
+    "GradientDescent",
+    "Adam",
+    "pixel_accuracy",
+    "paper_accuracy",
+    "__version__",
+]

@@ -1,0 +1,8 @@
+"""Module runner: ``python -m repro fig4|fig5|table1|ablation ...``."""
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Analysis utilities: feasibility, compressibility and convergence.
+
+Tools that answer the *why* questions behind the paper's numbers:
+
+- :mod:`~repro.analysis.feasibility` — Gram-matrix tests for whether a
+  unitary mapping between two state families exists (the theory behind the
+  compression-target choice, EXPERIMENTS.md ambiguity #3);
+- :mod:`~repro.analysis.compressibility` — dataset spectra, rank knees and
+  the accuracy ceiling a d-channel code can reach;
+- :mod:`~repro.analysis.convergence` — loss-curve diagnostics (half-life,
+  plateau detection) and the accuracy-vs-iteration-budget study behind the
+  EXPERIMENTS.md 150/200/300 table.
+"""
+
+from repro.analysis.feasibility import (
+    gram_matrix,
+    unitary_map_exists,
+    unitary_map_residual,
+)
+from repro.analysis.compressibility import (
+    compressibility_report,
+    accuracy_ceiling,
+)
+from repro.analysis.convergence import (
+    loss_half_life,
+    plateau_iteration,
+    budget_study,
+)
+
+__all__ = [
+    "gram_matrix",
+    "unitary_map_exists",
+    "unitary_map_residual",
+    "compressibility_report",
+    "accuracy_ceiling",
+    "loss_half_life",
+    "plateau_iteration",
+    "budget_study",
+]

@@ -1,0 +1,99 @@
+"""Dataset compressibility analysis.
+
+How much can a ``d``-channel quantum code possibly achieve on a given
+dataset?  The network applies a *global unitary* followed by a rank-``d``
+projection, so on the amplitude-encoded (unit-norm) samples the best case
+is projection onto the top-``d`` principal subspace of the amplitude
+matrix.  These functions compute that ceiling, which EXPERIMENTS.md uses
+to separate "the optimiser fell short" from "the data doesn't fit".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.svd_compress import svd_energy_profile
+from repro.encoding.amplitude import decode_batch, encode_batch
+from repro.exceptions import DimensionError
+from repro.training.metrics import paper_accuracy
+
+__all__ = ["compressibility_report", "accuracy_ceiling"]
+
+
+def accuracy_ceiling(
+    X: np.ndarray, d: int, tol: float = 0.01
+) -> Dict[str, float]:
+    """Upper bounds for a ``d``-channel linear code on dataset ``X``.
+
+    Projects the amplitude-encoded samples onto their top-``d`` principal
+    subspace (the best any ``P1 U`` pipeline can retain), decodes, and
+    scores — i.e. the accuracy a *perfectly trained* quantum network of
+    the paper's architecture could reach.
+
+    Returns
+    -------
+    dict with:
+    - ``accuracy_ceiling_pct`` — Eq. (10) accuracy of the ideal code;
+    - ``retained_energy`` — amplitude energy fraction inside the subspace;
+    - ``residual_loss_floor`` — the minimal summed squared amplitude
+      error (the floor under ``L_R``).
+
+    Examples
+    --------
+    >>> from repro.data import paper_dataset
+    >>> ceil4 = accuracy_ceiling(paper_dataset().matrix(), d=4)
+    >>> ceil4["accuracy_ceiling_pct"]
+    100.0
+    """
+    mat = np.asarray(X, dtype=np.float64)
+    if mat.ndim != 2:
+        raise DimensionError(f"X must be (M, N), got shape {mat.shape}")
+    if not 1 <= d <= mat.shape[1]:
+        raise DimensionError(
+            f"d must be in [1, {mat.shape[1]}], got {d}"
+        )
+    enc = encode_batch(mat)
+    amps = enc.amplitudes()  # (N, M) unit columns
+    u, s, _ = np.linalg.svd(amps, full_matrices=False)
+    basis = u[:, :d]
+    projected = basis @ (basis.T @ amps)
+    x_hat = decode_batch(projected, enc.squared_norms)
+    total = float(np.sum(amps**2))
+    retained = float(np.sum(projected**2))
+    return {
+        "accuracy_ceiling_pct": paper_accuracy(x_hat, mat, tol=tol),
+        "retained_energy": retained / total,
+        "residual_loss_floor": max(total - retained, 0.0),
+    }
+
+
+def compressibility_report(
+    X: np.ndarray, max_d: Optional[int] = None
+) -> list[dict]:
+    """Accuracy ceiling and energy capture for every budget ``d``.
+
+    One record per ``d`` in ``1..max_d`` (default: data dimension), the
+    table that locates a dataset's compression knee.
+    """
+    mat = np.asarray(X, dtype=np.float64)
+    if mat.ndim != 2:
+        raise DimensionError(f"X must be (M, N), got shape {mat.shape}")
+    n = mat.shape[1]
+    top = n if max_d is None else int(max_d)
+    if not 1 <= top <= n:
+        raise DimensionError(f"max_d must be in [1, {n}], got {max_d}")
+    profile = svd_energy_profile(encode_batch(mat).amplitudes().T)
+    records = []
+    for d in range(1, top + 1):
+        ceiling = accuracy_ceiling(mat, d)
+        records.append(
+            {
+                "d": d,
+                "accuracy_ceiling_pct": ceiling["accuracy_ceiling_pct"],
+                "retained_energy": ceiling["retained_energy"],
+                "svd_energy": float(profile[d - 1]),
+            }
+        )
+    return records

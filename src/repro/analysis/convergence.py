@@ -1,0 +1,125 @@
+"""Training-convergence diagnostics and the iteration-budget study.
+
+Quantifies the loss curves the paper only shows graphically:
+
+- :func:`loss_half_life` — iterations needed to halve the remaining loss
+  (a scale-free convergence-speed number);
+- :func:`plateau_iteration` — where a curve effectively stops improving
+  (the paper's "stabilize after 50 training iterations" claim, made
+  precise);
+- :func:`budget_study` — accuracy/losses as a function of the iteration
+  budget (the EXPERIMENTS.md 150/200/300 table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["loss_half_life", "plateau_iteration", "budget_study"]
+
+
+def _check_curve(curve: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(curve, dtype=np.float64).ravel()
+    if arr.size < 2:
+        raise ExperimentError(
+            f"need at least 2 loss values, got {arr.size}"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ExperimentError("loss curve contains NaN/Inf")
+    return arr
+
+
+def loss_half_life(
+    curve: Sequence[float], floor: Optional[float] = None
+) -> float:
+    """Average iterations per halving of the remaining loss.
+
+    Fits ``log(loss - floor)`` against iteration by least squares and
+    converts the slope to a half-life; ``floor`` defaults to slightly
+    below the final value.  Returns ``inf`` for non-decreasing curves.
+
+    Examples
+    --------
+    >>> curve = [2.0 ** (-t) for t in range(20)]
+    >>> round(loss_half_life(curve, floor=0.0), 6)
+    1.0
+    """
+    arr = _check_curve(curve)
+    if floor is None:
+        floor = float(arr.min()) - 1e-12
+    shifted = arr - floor
+    if np.any(shifted <= 0):
+        shifted = np.clip(shifted, 1e-300, None)
+    logs = np.log(shifted)
+    t = np.arange(arr.size)
+    slope = np.polyfit(t, logs, 1)[0]
+    if slope >= 0:
+        return float("inf")
+    return float(np.log(2.0) / -slope)
+
+
+def plateau_iteration(
+    curve: Sequence[float], rel_tol: float = 0.01, window: int = 5
+) -> int:
+    """First iteration after which the curve never improves by more than
+    ``rel_tol`` of its total drop over any ``window`` iterations.
+
+    This is the quantitative version of the paper's "stabilize after 50
+    training iterations" (Fig. 4e/f commentary).  Returns the last index
+    if the curve never plateaus.
+    """
+    arr = _check_curve(curve)
+    if not 0 < rel_tol < 1:
+        raise ExperimentError(f"rel_tol must be in (0, 1), got {rel_tol}")
+    if window < 1:
+        raise ExperimentError(f"window must be >= 1, got {window}")
+    total_drop = float(arr[0] - arr.min())
+    if total_drop <= 0:
+        return 0
+    threshold = rel_tol * total_drop
+    for start in range(arr.size - window):
+        segment = arr[start : start + window + 1]
+        if float(segment.max() - segment.min()) <= threshold and np.all(
+            arr[start:] <= arr[start] + threshold
+        ):
+            return start
+    return arr.size - 1
+
+
+def budget_study(
+    budgets: Sequence[int] = (75, 150, 200, 300),
+    config=None,
+) -> List[Dict[str, float]]:
+    """Accuracy/losses vs training budget (the EXPERIMENTS.md table).
+
+    Runs the Fig. 4 experiment once per budget with otherwise identical
+    configuration; returns one record per budget.
+    """
+    from repro.experiments.config import PaperConfig
+    from repro.experiments.fig4 import run_fig4
+
+    cfg = config or PaperConfig()
+    if not budgets:
+        raise ExperimentError("budget_study needs at least one budget")
+    records = []
+    for budget in budgets:
+        if budget < 1:
+            raise ExperimentError(f"budget must be >= 1, got {budget}")
+        result = run_fig4(cfg.with_(iterations=int(budget)))
+        records.append(
+            {
+                "iterations": int(budget),
+                "max_accuracy_pct": result.max_accuracy,
+                "final_accuracy_pct": result.final_accuracy,
+                "min_loss_c": result.min_loss_c,
+                "min_loss_r": result.min_loss_r,
+                "plateau_iteration": plateau_iteration(
+                    result.history.loss_r
+                ),
+            }
+        )
+    return records

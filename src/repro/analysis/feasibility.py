@@ -1,0 +1,104 @@
+"""Unitary-feasibility tests via Gram matrices.
+
+A unitary ``U`` with ``U x_i = y_i`` for all ``i`` exists **iff** the two
+families have identical Gram matrices (``<x_i, x_j> = <y_i, y_j>`` for all
+pairs).  This single fact drives two design decisions documented in
+EXPERIMENTS.md:
+
+- the paper's shared uniform compression target is infeasible for more
+  than one distinct input (all pairwise target overlaps are 1, the input
+  overlaps are not);
+- PCA-mixed truncated-input targets are exactly feasible on data whose
+  rank fits the compression budget (the mixing preserves the Gram).
+
+:func:`unitary_map_residual` also quantifies *how* infeasible a target
+assignment is — a lower bound on the achievable ``L_C``-style loss.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+
+__all__ = ["gram_matrix", "unitary_map_exists", "unitary_map_residual"]
+
+
+def _check_family(x: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(x)
+    if arr.ndim != 2:
+        raise DimensionError(
+            f"{name} must be (N, M) column states, got shape {arr.shape}"
+        )
+    return arr
+
+
+def gram_matrix(states: np.ndarray) -> np.ndarray:
+    """``(M, M)`` Gram matrix ``G_ij = <s_i, s_j>`` of column states."""
+    s = _check_family(states, "states")
+    return np.conj(s.T) @ s
+
+
+def unitary_map_exists(
+    inputs: np.ndarray, targets: np.ndarray, atol: float = 1e-8
+) -> bool:
+    """Whether some unitary maps every input column to its target column.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> x = np.eye(3)[:, :2]
+    >>> y = np.eye(3)[:, 1:3]       # another orthonormal pair
+    >>> unitary_map_exists(x, y)
+    True
+    >>> y_bad = np.ones((3, 2)) / np.sqrt(3)   # collapsed targets
+    >>> unitary_map_exists(x, y_bad)
+    False
+    """
+    x = _check_family(inputs, "inputs")
+    y = _check_family(targets, "targets")
+    if x.shape != y.shape:
+        raise DimensionError(
+            f"inputs shape {x.shape} != targets shape {y.shape}"
+        )
+    return bool(
+        np.max(np.abs(gram_matrix(x) - gram_matrix(y))) <= atol
+    )
+
+
+def unitary_map_residual(
+    inputs: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Best-unitary residual: ``min_U sum_i ||U x_i - y_i||^2``.
+
+    This is the orthogonal-Procrustes problem; the optimum is
+    ``U* = V W^dagger`` from the SVD ``Y X^dagger = V S W^dagger``, and the
+    minimal residual equals ``||X||_F^2 + ||Y||_F^2 - 2 sum(S)``.
+
+    Returns ``(residual, U*)``.  The residual lower-bounds any
+    quantum-network training loss whose targets are ``y`` — if it is far
+    from zero, no amount of training can fix the target choice.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> x = np.eye(2)
+    >>> r, u = unitary_map_residual(x, x[:, ::-1].copy())
+    >>> round(r, 12)
+    0.0
+    """
+    x = _check_family(inputs, "inputs")
+    y = _check_family(targets, "targets")
+    if x.shape != y.shape:
+        raise DimensionError(
+            f"inputs shape {x.shape} != targets shape {y.shape}"
+        )
+    cross = y @ np.conj(x.T)  # (N, N)
+    v, s, wh = np.linalg.svd(cross)
+    u_star = v @ wh
+    residual = float(
+        np.sum(np.abs(x) ** 2) + np.sum(np.abs(y) ** 2) - 2.0 * np.sum(s)
+    )
+    return max(residual, 0.0), u_star

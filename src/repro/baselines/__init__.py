@@ -1,0 +1,53 @@
+"""Classical comparators.
+
+The paper's Fig. 5 and Table I compare the quantum network against a
+classical-sparse-coding (CSC) algorithm with a 16x16 dictionary (its ref.
+[23], an adaptive/gradient sparse-coding scheme with an SVD-initialised
+dictionary).  This subpackage implements the full classical stack:
+
+- :mod:`~repro.baselines.omp` — Orthogonal Matching Pursuit;
+- :mod:`~repro.baselines.ista` — ISTA / FISTA l1 solvers;
+- :mod:`~repro.baselines.dictionary` — MOD, K-SVD and gradient dictionary
+  updates with SVD initialisation;
+- :mod:`~repro.baselines.csc` — the end-to-end CSC compressor used by the
+  Fig. 5c and Table I reproductions;
+- :mod:`~repro.baselines.pca` — PCA compression (the classical analogue of
+  the quantum-PCA compression of paper ref. [11]);
+- :mod:`~repro.baselines.svd_compress` — global truncated-SVD
+  reconstruction, the linear-optimum reference.
+"""
+
+from repro.baselines.omp import omp, omp_batch
+from repro.baselines.ista import ista, fista, soft_threshold
+from repro.baselines.dictionary import (
+    svd_init_dictionary,
+    normalize_dictionary,
+    mod_update,
+    ksvd_update,
+    gradient_dictionary_step,
+)
+from repro.baselines.csc import CSCCompressor, CSCHistory
+from repro.baselines.pca import PCACompressor
+from repro.baselines.svd_compress import truncated_svd_reconstruction
+from repro.baselines.dct import DCTCompressor, dct2, idct2, zigzag_indices
+
+__all__ = [
+    "omp",
+    "omp_batch",
+    "ista",
+    "fista",
+    "soft_threshold",
+    "svd_init_dictionary",
+    "normalize_dictionary",
+    "mod_update",
+    "ksvd_update",
+    "gradient_dictionary_step",
+    "CSCCompressor",
+    "CSCHistory",
+    "PCACompressor",
+    "truncated_svd_reconstruction",
+    "DCTCompressor",
+    "dct2",
+    "idct2",
+    "zigzag_indices",
+]

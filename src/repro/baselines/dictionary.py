@@ -1,0 +1,168 @@
+"""Dictionary-learning updates (SVD init, MOD, K-SVD, gradient).
+
+The paper's CSC reference ([23], "adaptive sparse coding based on
+memristive neural network") trains its dictionary by gradient descent from
+an SVD-derived initialisation; MOD (method of optimal directions) and
+K-SVD are the stronger closed-form/per-atom classical updates and are
+included as the upper-bound classical reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import BaselineError
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "svd_init_dictionary",
+    "normalize_dictionary",
+    "mod_update",
+    "ksvd_update",
+    "gradient_dictionary_step",
+]
+
+_EPS = 1e-12
+
+
+def normalize_dictionary(dictionary: np.ndarray) -> np.ndarray:
+    """Scale every atom (column) to unit norm; zero atoms become basis-like.
+
+    Dictionary atoms are conventionally unit norm so sparse-code magnitudes
+    are comparable across atoms; zero columns (which can appear when an
+    atom is never used) are replaced by the least-represented canonical
+    basis vector to keep the dictionary full size.
+    """
+    d = np.array(dictionary, dtype=np.float64, copy=True)
+    if d.ndim != 2:
+        raise BaselineError(f"dictionary must be 2-D, got shape {d.shape}")
+    norms = np.linalg.norm(d, axis=0)
+    dead = norms < _EPS
+    for j in np.nonzero(dead)[0]:
+        e = np.zeros(d.shape[0])
+        e[j % d.shape[0]] = 1.0
+        d[:, j] = e
+    norms = np.linalg.norm(d, axis=0)
+    return d / norms
+
+
+def svd_init_dictionary(
+    data: np.ndarray, num_atoms: Optional[int] = None
+) -> np.ndarray:
+    """Initialise a dictionary from the left singular vectors of the data.
+
+    ``data`` is ``(N, M)`` column-samples.  The first ``min(N, M)`` atoms
+    are the singular directions (ordered by singular value); remaining
+    atoms (when ``num_atoms > rank``) are canonical basis vectors, then
+    everything is normalised.  This mirrors the "CSC based on the SVD
+    algorithms" setup of Fig. 5b (a 16x16 dictionary for 16-dim data).
+    """
+    y = np.asarray(data, dtype=np.float64)
+    if y.ndim != 2:
+        raise BaselineError(f"data must be (N, M), got shape {y.shape}")
+    n = y.shape[0]
+    k = n if num_atoms is None else int(num_atoms)
+    if k < 1:
+        raise BaselineError(f"num_atoms must be >= 1, got {k}")
+    u, _, _ = np.linalg.svd(y, full_matrices=True)
+    if k <= n:
+        d = u[:, :k]
+    else:
+        extra = np.zeros((n, k - n))
+        for j in range(k - n):
+            extra[j % n, j] = 1.0
+        d = np.hstack([u, extra])
+    return normalize_dictionary(d)
+
+
+def mod_update(data: np.ndarray, codes: np.ndarray) -> np.ndarray:
+    """Method of Optimal Directions: ``D = Y S^T (S S^T + eps I)^{-1}``.
+
+    The closed-form least-squares dictionary given fixed codes.
+    """
+    y = np.asarray(data, dtype=np.float64)
+    s = np.asarray(codes, dtype=np.float64)
+    if y.ndim != 2 or s.ndim != 2 or y.shape[1] != s.shape[1]:
+        raise BaselineError(
+            f"incompatible shapes data {y.shape}, codes {s.shape}"
+        )
+    gram = s @ s.T
+    reg = 1e-10 * np.trace(gram) / max(gram.shape[0], 1) + 1e-12
+    d = y @ s.T @ np.linalg.inv(gram + reg * np.eye(gram.shape[0]))
+    return normalize_dictionary(d)
+
+
+def ksvd_update(
+    data: np.ndarray,
+    dictionary: np.ndarray,
+    codes: np.ndarray,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One K-SVD sweep: rank-1 update of every atom and its coefficients.
+
+    For each atom ``j``: restrict to the samples using it, form the
+    residual without atom ``j``, and replace (atom, coefficients) by the
+    leading singular pair of that residual.  Unused atoms are re-seeded
+    with the worst-represented sample.
+    """
+    y = np.asarray(data, dtype=np.float64)
+    d = np.array(dictionary, dtype=np.float64, copy=True)
+    s = np.array(codes, dtype=np.float64, copy=True)
+    if y.shape[0] != d.shape[0] or d.shape[1] != s.shape[0] or (
+        y.shape[1] != s.shape[1]
+    ):
+        raise BaselineError(
+            f"incompatible shapes data {y.shape}, dictionary {d.shape}, "
+            f"codes {s.shape}"
+        )
+    gen = ensure_rng(rng)
+    for j in range(d.shape[1]):
+        users = np.nonzero(np.abs(s[j]) > _EPS)[0]
+        if users.size == 0:
+            # Re-seed with the sample currently represented worst.
+            err = np.linalg.norm(y - d @ s, axis=0)
+            pick = int(np.argmax(err))
+            atom = y[:, pick]
+            norm = np.linalg.norm(atom)
+            d[:, j] = (
+                atom / norm if norm > _EPS else gen.standard_normal(y.shape[0])
+            )
+            d[:, j] /= np.linalg.norm(d[:, j])
+            continue
+        residual = y[:, users] - d @ s[:, users] + np.outer(
+            d[:, j], s[j, users]
+        )
+        u, sv, vt = np.linalg.svd(residual, full_matrices=False)
+        d[:, j] = u[:, 0]
+        s[j, users] = sv[0] * vt[0]
+    return d, s
+
+
+def gradient_dictionary_step(
+    data: np.ndarray,
+    dictionary: np.ndarray,
+    codes: np.ndarray,
+    lr: float,
+) -> np.ndarray:
+    """One gradient-descent step on ``||Y - D S||_F^2`` w.r.t. ``D``.
+
+    This is the update style of the paper's CSC reference [23] (adaptive/
+    neural sparse coding): ``D <- D + lr * (Y - D S) S^T``, followed by
+    atom renormalisation.
+    """
+    if lr <= 0:
+        raise BaselineError(f"lr must be positive, got {lr}")
+    y = np.asarray(data, dtype=np.float64)
+    d = np.asarray(dictionary, dtype=np.float64)
+    s = np.asarray(codes, dtype=np.float64)
+    if y.shape[0] != d.shape[0] or d.shape[1] != s.shape[0] or (
+        y.shape[1] != s.shape[1]
+    ):
+        raise BaselineError(
+            f"incompatible shapes data {y.shape}, dictionary {d.shape}, "
+            f"codes {s.shape}"
+        )
+    residual = y - d @ s
+    return normalize_dictionary(d + lr * residual @ s.T)

@@ -1,0 +1,98 @@
+"""Orthogonal Matching Pursuit (OMP).
+
+Greedy sparse coding: select the atom most correlated with the residual,
+re-fit all selected coefficients by least squares, repeat.  Used by the
+CSC baseline (paper refs. [1], [16] discuss matching-pursuit coding) and
+by the dictionary-learning tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import BaselineError
+
+__all__ = ["omp", "omp_batch"]
+
+
+def omp(
+    dictionary: np.ndarray,
+    signal: np.ndarray,
+    sparsity: int,
+    tol: float = 0.0,
+) -> np.ndarray:
+    """Sparse code one signal: ``argmin ||y - D s||`` with ``||s||_0 <= k``.
+
+    Parameters
+    ----------
+    dictionary:
+        ``(N, K)`` matrix with (approximately) unit-norm columns (atoms).
+    signal:
+        Length-``N`` target.
+    sparsity:
+        Maximum number of non-zero coefficients ``k``.
+    tol:
+        Early-exit residual norm; 0 disables.
+
+    Returns
+    -------
+    Length-``K`` coefficient vector with at most ``k`` non-zeros.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> D = np.eye(4)
+    >>> omp(D, np.array([0.0, 3.0, 0.0, 0.0]), sparsity=1).tolist()
+    [0.0, 3.0, 0.0, 0.0]
+    """
+    d = np.asarray(dictionary, dtype=np.float64)
+    y = np.asarray(signal, dtype=np.float64).ravel()
+    if d.ndim != 2:
+        raise BaselineError(f"dictionary must be 2-D, got shape {d.shape}")
+    n, k_atoms = d.shape
+    if y.size != n:
+        raise BaselineError(
+            f"signal length {y.size} != dictionary rows {n}"
+        )
+    if not 1 <= sparsity <= k_atoms:
+        raise BaselineError(
+            f"sparsity must be in [1, {k_atoms}], got {sparsity}"
+        )
+    if tol < 0:
+        raise BaselineError(f"tol must be >= 0, got {tol}")
+    residual = y.copy()
+    support: list[int] = []
+    coeffs = np.zeros(k_atoms)
+    for _ in range(sparsity):
+        correlations = np.abs(d.T @ residual)
+        correlations[support] = -np.inf  # never reselect
+        best = int(np.argmax(correlations))
+        if not np.isfinite(correlations[best]) or correlations[best] <= 1e-14:
+            break
+        support.append(best)
+        sub = d[:, support]
+        sol, *_ = np.linalg.lstsq(sub, y, rcond=None)
+        residual = y - sub @ sol
+        if tol > 0 and np.linalg.norm(residual) <= tol:
+            break
+    if support:
+        coeffs[support] = sol
+    return coeffs
+
+
+def omp_batch(
+    dictionary: np.ndarray,
+    signals: np.ndarray,
+    sparsity: int,
+    tol: float = 0.0,
+) -> np.ndarray:
+    """OMP over the columns of ``signals`` (``(N, M)``); returns ``(K, M)``."""
+    sig = np.asarray(signals, dtype=np.float64)
+    if sig.ndim != 2:
+        raise BaselineError(f"signals must be (N, M), got shape {sig.shape}")
+    codes = np.zeros((dictionary.shape[1], sig.shape[1]))
+    for m in range(sig.shape[1]):
+        codes[:, m] = omp(dictionary, sig[:, m], sparsity, tol=tol)
+    return codes

@@ -1,0 +1,45 @@
+"""Datasets: the paper's 25 binary 4x4 images and parametric generators.
+
+The authors never published their pixel data, so
+:func:`~repro.data.binary_images.paper_dataset` builds a deterministic
+substitute with the properties the paper's results require: 25 binary 4x4
+glyph-like images whose matrix has low effective rank (compressible into
+``d = 4`` amplitudes).  Generators for higher-rank binary sets, grayscale
+images and noise models support the ablation experiments.
+"""
+
+from repro.data.dataset import ImageDataset
+from repro.data.glyphs import GLYPHS_4X4, glyph, available_glyphs
+from repro.data.binary_images import (
+    paper_dataset,
+    block_basis,
+    random_binary_dataset,
+    rank_limited_binary_dataset,
+)
+from repro.data.grayscale import (
+    gradient_image,
+    gaussian_blob,
+    checkerboard,
+    stripes,
+    grayscale_dataset,
+)
+from repro.data.noise import flip_pixels, add_gaussian_noise, salt_and_pepper
+
+__all__ = [
+    "ImageDataset",
+    "GLYPHS_4X4",
+    "glyph",
+    "available_glyphs",
+    "paper_dataset",
+    "block_basis",
+    "random_binary_dataset",
+    "rank_limited_binary_dataset",
+    "gradient_image",
+    "gaussian_blob",
+    "checkerboard",
+    "stripes",
+    "grayscale_dataset",
+    "flip_pixels",
+    "add_gaussian_noise",
+    "salt_and_pepper",
+]

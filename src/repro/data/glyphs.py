@@ -1,0 +1,112 @@
+"""A small library of 4x4 (and 8x8) binary glyphs.
+
+Fig. 4a of the paper shows 25 digit-like binary 4x4 images.  The exact
+pixels are unpublished; these glyphs provide visually similar material for
+examples and documentation, while the *reproduction* dataset
+(:func:`repro.data.binary_images.paper_dataset`) is built from rank-
+controlled pattern unions so the compression properties match the paper's
+results (see DESIGN.md, substitutions table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+__all__ = ["GLYPHS_4X4", "GLYPHS_8X8", "glyph", "available_glyphs"]
+
+
+def _g(rows: List[str]) -> np.ndarray:
+    """Parse a list of '.'/'#' strings into a binary array."""
+    arr = np.array(
+        [[1.0 if ch == "#" else 0.0 for ch in row] for row in rows]
+    )
+    return arr
+
+
+#: 4x4 binary glyphs: digits and simple shapes.
+GLYPHS_4X4: Dict[str, np.ndarray] = {
+    "zero": _g(["####", "#..#", "#..#", "####"]),
+    "one": _g(["..#.", ".##.", "..#.", ".###"]),
+    "two": _g(["###.", "..#.", ".#..", "####"]),
+    "three": _g(["###.", ".##.", "...#", "###."]),
+    "four": _g(["#.#.", "#.#.", "####", "..#."]),
+    "five": _g(["####", "##..", "...#", "###."]),
+    "seven": _g(["####", "...#", "..#.", ".#.."]),
+    "cross": _g([".##.", "####", "####", ".##."]),
+    "ex": _g(["#..#", ".##.", ".##.", "#..#"]),
+    "tl": _g(["##..", "##..", "....", "...."]),
+    "tr": _g(["..##", "..##", "....", "...."]),
+    "bl": _g(["....", "....", "##..", "##.."]),
+    "br": _g(["....", "....", "..##", "..##"]),
+    "hbar": _g(["....", "####", "####", "...."]),
+    "vbar": _g([".##.", ".##.", ".##.", ".##."]),
+    "frame": _g(["####", "#..#", "#..#", "####"]),
+    "solid": _g(["####", "####", "####", "####"]),
+    "diag": _g(["#...", ".#..", "..#.", "...#"]),
+    "anti": _g(["...#", "..#.", ".#..", "#..."]),
+}
+
+#: 8x8 glyphs used by the grayscale/large-image examples.
+GLYPHS_8X8: Dict[str, np.ndarray] = {
+    "ring": _g(
+        [
+            "..####..",
+            ".#....#.",
+            "#......#",
+            "#......#",
+            "#......#",
+            "#......#",
+            ".#....#.",
+            "..####..",
+        ]
+    ),
+    "plus": _g(
+        [
+            "...##...",
+            "...##...",
+            "...##...",
+            "########",
+            "########",
+            "...##...",
+            "...##...",
+            "...##...",
+        ]
+    ),
+    "checker": _g(
+        [
+            "##..##..",
+            "##..##..",
+            "..##..##",
+            "..##..##",
+            "##..##..",
+            "##..##..",
+            "..##..##",
+            "..##..##",
+        ]
+    ),
+}
+
+
+def available_glyphs(size: int = 4) -> List[str]:
+    """Names of the glyphs available at the given side length."""
+    if size == 4:
+        return sorted(GLYPHS_4X4)
+    if size == 8:
+        return sorted(GLYPHS_8X8)
+    raise DatasetError(f"no glyph library for size {size}; use 4 or 8")
+
+
+def glyph(name: str, size: int = 4) -> np.ndarray:
+    """Fetch a glyph by name (a fresh copy)."""
+    table = GLYPHS_4X4 if size == 4 else GLYPHS_8X8 if size == 8 else None
+    if table is None:
+        raise DatasetError(f"no glyph library for size {size}; use 4 or 8")
+    if name not in table:
+        raise DatasetError(
+            f"unknown glyph {name!r}; available: {sorted(table)}"
+        )
+    return table[name].copy()

@@ -1,0 +1,69 @@
+"""Noise models for robustness ablations.
+
+These corrupt *classical* images (before encoding).  Quantum-side noise
+(finite measurement shots, beamsplitter imperfections) lives in
+:mod:`repro.simulator.measurement` and :mod:`repro.optics.interferometer`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["flip_pixels", "add_gaussian_noise", "salt_and_pepper"]
+
+
+def flip_pixels(
+    images: np.ndarray,
+    fraction: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Flip a fraction of binary pixels (0 <-> 1).
+
+    Raises if the input is not binary — flipping grayscale values is
+    almost never what an experiment intends.
+    """
+    arr = np.asarray(images, dtype=np.float64)
+    if not np.all((arr == 0.0) | (arr == 1.0)):
+        raise DatasetError("flip_pixels requires strictly binary input")
+    if not 0.0 <= fraction <= 1.0:
+        raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
+    out = arr.copy()
+    mask = ensure_rng(rng).random(out.shape) < fraction
+    out[mask] = 1.0 - out[mask]
+    return out
+
+
+def add_gaussian_noise(
+    images: np.ndarray,
+    sigma: float,
+    rng: Optional[np.random.Generator] = None,
+    clip: bool = True,
+) -> np.ndarray:
+    """Additive zero-mean Gaussian pixel noise, optionally clipped to [0,1]."""
+    if sigma < 0:
+        raise DatasetError(f"sigma must be >= 0, got {sigma}")
+    arr = np.asarray(images, dtype=np.float64)
+    out = arr + ensure_rng(rng).normal(0.0, sigma, size=arr.shape)
+    return np.clip(out, 0.0, 1.0) if clip else out
+
+
+def salt_and_pepper(
+    images: np.ndarray,
+    fraction: float,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Set a fraction of pixels to 0 or 1 (equal probability)."""
+    if not 0.0 <= fraction <= 1.0:
+        raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
+    arr = np.asarray(images, dtype=np.float64)
+    gen = ensure_rng(rng)
+    out = arr.copy()
+    mask = gen.random(out.shape) < fraction
+    values = (gen.random(out.shape) < 0.5).astype(np.float64)
+    out[mask] = values[mask]
+    return out

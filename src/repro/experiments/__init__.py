@@ -1,0 +1,37 @@
+"""Experiment harness: one entry point per paper artefact.
+
+- :mod:`~repro.experiments.config` — the Section IV-A parameter set
+  (``N=16, d=4, l_C=12, l_R=14, eta=0.01, Ite=150, M=25``);
+- :mod:`~repro.experiments.fig4` — the main training experiment (panels
+  a-g of Fig. 4);
+- :mod:`~repro.experiments.fig5` — QN vs CSC loss-curve comparison
+  (Fig. 5c);
+- :mod:`~repro.experiments.table1` — the quantum-superiority table
+  (accuracy / CPU runs / matrix size);
+- :mod:`~repro.experiments.ablations` — extension studies (gradient
+  methods, architecture sweeps, hardware realism, complex-alpha networks);
+- :mod:`~repro.experiments.reporting` — terminal rendering of all of the
+  above.
+
+Every function is deterministic given its config (seeds included), so the
+numbers recorded in EXPERIMENTS.md regenerate exactly.
+"""
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.table1 import Table1Row, run_table1
+from repro.experiments import ablations
+from repro.experiments import reporting
+
+__all__ = [
+    "PaperConfig",
+    "Fig4Result",
+    "run_fig4",
+    "Fig5Result",
+    "run_fig5",
+    "Table1Row",
+    "run_table1",
+    "ablations",
+    "reporting",
+]

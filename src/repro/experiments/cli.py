@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Runs any paper artefact or ablation from the shell, prints the rendered
+figure/table, and optionally archives the raw numbers as JSON:
+
+.. code-block:: console
+
+    python -m repro fig4 --iterations 200
+    python -m repro fig5 --output results/fig5.json
+    python -m repro table1 --strong-csc
+    python -m repro ablation --study gradient
+
+Every run is deterministic given ``--seed`` (default 2024).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.experiments import ablations
+from repro.experiments.config import PaperConfig
+from repro.experiments.fig4 import run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.reporting import (
+    render_fig4,
+    render_fig5,
+    render_records,
+    render_table1,
+)
+from repro.experiments.table1 import run_table1
+from repro.io.results_io import save_results
+
+__all__ = ["build_parser", "main"]
+
+_ABLATION_STUDIES = {
+    "gradient": ablations.gradient_method_comparison,
+    "layers": ablations.layer_sweep,
+    "learning-rate": ablations.learning_rate_sweep,
+    "compression-dim": ablations.compression_dim_sweep,
+    "initializer": ablations.initializer_comparison,
+    "shots": ablations.shot_noise_study,
+    "imperfections": ablations.imperfection_study,
+    "complex": ablations.complex_network_study,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Image Compression and Reconstruction Based on "
+            "Quantum Network' (IPPS 2024)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--iterations", type=int, default=150,
+                       help="training iterations (paper: 150)")
+        p.add_argument("--seed", type=int, default=2024)
+        p.add_argument("--optimizer", choices=["gd", "momentum", "adam"],
+                       default="momentum")
+        p.add_argument(
+            "--gradient",
+            choices=["fd", "central", "derivative", "adjoint"],
+            default="adjoint",
+            help="'fd' is the paper's finite differences (slow)",
+        )
+        p.add_argument("--output", type=str, default=None,
+                       help="write raw results to this JSON file")
+
+    p4 = sub.add_parser("fig4", help="main training experiment (Fig. 4)")
+    add_common(p4)
+    p5 = sub.add_parser("fig5", help="QN vs CSC loss comparison (Fig. 5c)")
+    add_common(p5)
+    pt = sub.add_parser("table1", help="quantum superiority table (Table I)")
+    add_common(pt)
+    pt.add_argument("--strong-csc", action="store_true",
+                    help="include the MOD+OMP classical upper bound")
+    pa = sub.add_parser("ablation", help="extension studies")
+    add_common(pa)
+    pa.add_argument("--study", choices=sorted(_ABLATION_STUDIES),
+                    required=True)
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> PaperConfig:
+    return PaperConfig(
+        iterations=args.iterations,
+        seed=args.seed,
+        optimizer=args.optimizer,
+        gradient_method=args.gradient,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = _config_from_args(args)
+
+    if args.experiment == "fig4":
+        result = run_fig4(config)
+        print(render_fig4(result))
+        payload = result.summary()
+        payload["loss_c"] = np.asarray(result.history.loss_c)
+        payload["loss_r"] = np.asarray(result.history.loss_r)
+        payload["accuracy"] = np.asarray(result.history.accuracy)
+    elif args.experiment == "fig5":
+        result = run_fig5(config)
+        print(render_fig5(result))
+        payload = result.summary()
+        payload["qn_loss"] = result.qn_loss
+        payload["csc_loss"] = result.csc_loss
+    elif args.experiment == "table1":
+        rows = run_table1(config, include_strong_csc=args.strong_csc)
+        print(render_table1(rows))
+        payload = {"rows": [r.as_dict() for r in rows]}
+    else:  # ablation
+        study = _ABLATION_STUDIES[args.study]
+        records = study(config)
+        print(render_records(records, title=f"ablation: {args.study}"))
+        payload = {"study": args.study, "records": records}
+
+    if args.output:
+        save_results(payload, args.output)
+        print(f"\nresults written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""The paper's experiment configuration (Section IV-A) and factories.
+
+Two deliberate deviations from the paper's literal text, both recorded in
+EXPERIMENTS.md:
+
+1. **Optimizer**: the paper trains with plain GD (Eq. 9, ``eta = 0.01``)
+   and reports near-zero losses after 150 iterations.  Plain GD in this
+   implementation needs ~10x more iterations to reach those losses;
+   heavy-ball momentum at the *same* ``eta`` and iteration budget matches
+   the paper's reported convergence, so ``optimizer="momentum"`` is the
+   calibrated default and ``"gd"`` the paper-faithful variant.
+2. **Compression target**: the paper's worked example (uniform ``b_i``
+   for every sample) is unachievable by a unitary for >1 distinct inputs
+   (states must remain distinguishable) — see
+   ``tests/network/test_targets.py``.  The per-sample PCA-mixed
+   truncated-input target is used instead (the quantum-autoencoder
+   condition, paper ref. [15]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.data.binary_images import paper_dataset
+from repro.data.dataset import ImageDataset
+from repro.exceptions import ExperimentError
+from repro.network.autoencoder import QuantumAutoencoder
+from repro.network.targets import (
+    CompressionTargetStrategy,
+    TruncatedInputTarget,
+    UniformSubspaceTarget,
+)
+from repro.training.optimizers import Adam, GradientDescent, MomentumGD
+from repro.training.trainer import Trainer
+
+__all__ = ["PaperConfig"]
+
+OptimizerName = Literal["gd", "momentum", "adam"]
+TargetName = Literal["pca", "restrict", "uniform"]
+
+
+@dataclass(frozen=True)
+class PaperConfig:
+    """All knobs of the Section IV-A experiment, paper values as defaults.
+
+    Examples
+    --------
+    >>> cfg = PaperConfig()
+    >>> cfg.dim, cfg.compressed_dim, cfg.compression_layers
+    (16, 4, 12)
+    >>> cfg.uc_parameter_count, cfg.ur_parameter_count  # 12x15 and 14x15
+    (180, 210)
+    """
+
+    dim: int = 16                      # N (4x4 images -> 16-dim states)
+    compressed_dim: int = 4            # d (compression channels)
+    compression_layers: int = 12       # l_C
+    reconstruction_layers: int = 14    # l_R
+    learning_rate: float = 0.01        # eta
+    iterations: int = 150              # Ite
+    num_samples: int = 25              # M
+    seed: int = 2024
+    gradient_method: str = "adjoint"   # "fd" is the paper-faithful choice
+    optimizer: OptimizerName = "momentum"
+    momentum: float = 0.9
+    target: TargetName = "pca"
+    trace_sample: int = 24             # Fig. 4e/f trace "Figure 25"
+    allow_phase: bool = False          # True = Section V complex network
+
+    def __post_init__(self) -> None:
+        if self.compressed_dim >= self.dim:
+            raise ExperimentError(
+                f"d={self.compressed_dim} must be < N={self.dim}"
+            )
+        if self.iterations < 1:
+            raise ExperimentError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.num_samples < 1:
+            raise ExperimentError(
+                f"num_samples must be >= 1, got {self.num_samples}"
+            )
+        if self.optimizer not in ("gd", "momentum", "adam"):
+            raise ExperimentError(f"unknown optimizer {self.optimizer!r}")
+        if self.target not in ("pca", "restrict", "uniform"):
+            raise ExperimentError(f"unknown target {self.target!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def uc_parameter_count(self) -> int:
+        """``l_C x (N-1)`` (the paper's "12x15 parameters")."""
+        return self.compression_layers * (self.dim - 1)
+
+    @property
+    def ur_parameter_count(self) -> int:
+        """``l_R x (N-1)`` (the paper's "14x15 parameters")."""
+        return self.reconstruction_layers * (self.dim - 1)
+
+    def with_(self, **changes) -> "PaperConfig":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # factories
+    # ------------------------------------------------------------------
+    def dataset(self) -> ImageDataset:
+        """The deterministic 25-image binary 4x4 dataset (Fig. 4a stand-in)."""
+        image_size = int(round(np.sqrt(self.dim)))
+        if image_size * image_size != self.dim:
+            raise ExperimentError(
+                f"dim={self.dim} is not a square image size"
+            )
+        return paper_dataset(
+            num_samples=self.num_samples,
+            image_size=image_size,
+            seed=self.seed,
+        )
+
+    def build_autoencoder(self) -> QuantumAutoencoder:
+        """A fresh autoencoder initialised with the config's seed."""
+        ae = QuantumAutoencoder(
+            dim=self.dim,
+            compressed_dim=self.compressed_dim,
+            compression_layers=self.compression_layers,
+            reconstruction_layers=self.reconstruction_layers,
+            allow_phase=self.allow_phase,
+        )
+        ae.initialize("uniform", rng=np.random.default_rng(self.seed))
+        return ae
+
+    def build_target_strategy(
+        self, autoencoder: QuantumAutoencoder, X: np.ndarray
+    ) -> CompressionTargetStrategy:
+        if self.target == "pca":
+            return TruncatedInputTarget.from_pca(autoencoder.projection, X)
+        if self.target == "restrict":
+            return TruncatedInputTarget(autoencoder.projection)
+        return UniformSubspaceTarget(autoencoder.projection)
+
+    def build_trainer(self, record_theta_every: Optional[int] = 1) -> Trainer:
+        factories = {
+            "gd": lambda: GradientDescent(self.learning_rate),
+            "momentum": lambda: MomentumGD(self.learning_rate, self.momentum),
+            "adam": lambda: Adam(self.learning_rate * 5.0),
+        }
+        if self.allow_phase and self.gradient_method == "adjoint":
+            raise ExperimentError(
+                "complex networks require gradient_method='derivative' or "
+                "a finite-difference method"
+            )
+        return Trainer(
+            iterations=self.iterations,
+            learning_rate=self.learning_rate,
+            gradient_method=self.gradient_method,
+            optimizer_factory=factories[self.optimizer],
+            trace_sample=self.trace_sample
+            if self.trace_sample < self.num_samples
+            else None,
+            record_theta_every=record_theta_every,
+        )

@@ -1,0 +1,25 @@
+"""Serialisation: trained models, images and experiment results.
+
+- :mod:`~repro.io.model_io` — save/load network and autoencoder parameters
+  (NPZ with a JSON header), so trained meshes can be re-programmed;
+- :mod:`~repro.io.image_io` — portable PGM/PBM image files (no external
+  imaging dependency in the offline environment);
+- :mod:`~repro.io.results_io` — experiment-result dictionaries to/from
+  JSON (arrays converted losslessly to nested lists).
+"""
+
+from repro.io.model_io import save_network, load_network, save_autoencoder, load_autoencoder
+from repro.io.image_io import write_pgm, read_pgm, write_pbm
+from repro.io.results_io import save_results, load_results
+
+__all__ = [
+    "save_network",
+    "load_network",
+    "save_autoencoder",
+    "load_autoencoder",
+    "write_pgm",
+    "read_pgm",
+    "write_pbm",
+    "save_results",
+    "load_results",
+]

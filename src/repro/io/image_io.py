@@ -1,0 +1,86 @@
+"""Minimal PGM/PBM image IO (no external imaging dependencies).
+
+Binary images of the paper are written as PBM (P1, ASCII) and grayscale
+reconstructions as PGM (P2, ASCII) — both trivially inspectable in a
+terminal and readable by virtually every image tool.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+__all__ = ["write_pgm", "read_pgm", "write_pbm"]
+
+PathLike = Union[str, Path]
+
+
+def write_pgm(
+    image: np.ndarray, path: PathLike, max_value: int = 255
+) -> None:
+    """Write a 2-D array in [0, 1] as an ASCII PGM (P2) file."""
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise SerializationError(
+            f"image must be 2-D, got shape {arr.shape}"
+        )
+    if not 1 <= max_value <= 65535:
+        raise SerializationError(
+            f"max_value must be in [1, 65535], got {max_value}"
+        )
+    if arr.min() < 0.0 or arr.max() > 1.0:
+        raise SerializationError(
+            f"pixel values must be in [0, 1], got range "
+            f"[{arr.min():.3g}, {arr.max():.3g}]"
+        )
+    levels = np.rint(arr * max_value).astype(int)
+    h, w = levels.shape
+    lines = [f"P2", f"{w} {h}", f"{max_value}"]
+    lines += [" ".join(str(v) for v in row) for row in levels]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")
+
+
+def read_pgm(path: PathLike) -> np.ndarray:
+    """Read an ASCII PGM (P2) file back into a [0, 1] float array."""
+    text = Path(path).read_text(encoding="ascii")
+    tokens = [
+        tok
+        for line in text.splitlines()
+        for tok in line.split("#", 1)[0].split()
+    ]
+    if not tokens or tokens[0] != "P2":
+        raise SerializationError("not an ASCII PGM (P2) file")
+    try:
+        w, h, maxv = int(tokens[1]), int(tokens[2]), int(tokens[3])
+        values = np.array([int(t) for t in tokens[4:]], dtype=np.float64)
+    except (IndexError, ValueError) as exc:
+        raise SerializationError(f"malformed PGM: {exc}") from exc
+    if maxv < 1 or values.size != w * h:
+        raise SerializationError(
+            f"PGM header promises {w * h} pixels, found {values.size}"
+        )
+    if values.min() < 0 or values.max() > maxv:
+        raise SerializationError("PGM pixel values exceed the stated maximum")
+    return (values / maxv).reshape(h, w)
+
+
+def write_pbm(image: np.ndarray, path: PathLike) -> None:
+    """Write a strictly binary 2-D array as an ASCII PBM (P1) file.
+
+    PBM convention: 1 = black; we map pixel value 1.0 -> 1.
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise SerializationError(
+            f"image must be 2-D, got shape {arr.shape}"
+        )
+    if not np.all((arr == 0.0) | (arr == 1.0)):
+        raise SerializationError("PBM requires strictly binary pixel values")
+    h, w = arr.shape
+    lines = ["P1", f"{w} {h}"]
+    lines += [" ".join(str(int(v)) for v in row) for row in arr]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")

@@ -1,0 +1,136 @@
+"""Save/load trained networks and autoencoders (NPZ container).
+
+The format stores a small JSON metadata string (architecture) plus the raw
+parameter arrays, so a file round-trips to a network that is numerically
+identical and structurally re-buildable without pickling arbitrary code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+from repro.network.autoencoder import QuantumAutoencoder
+from repro.network.projection import Projection
+from repro.network.quantum_network import QuantumNetwork
+
+__all__ = [
+    "save_network",
+    "load_network",
+    "save_autoencoder",
+    "load_autoencoder",
+]
+
+_FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def save_network(network: QuantumNetwork, path: PathLike) -> None:
+    """Serialise a network to ``path`` (``.npz``).
+
+    Examples
+    --------
+    >>> import tempfile, os
+    >>> net = QuantumNetwork(4, 2)
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     save_network(net, os.path.join(d, "net.npz"))
+    ...     same = load_network(os.path.join(d, "net.npz"))
+    >>> same.dim, same.num_layers
+    (4, 2)
+    """
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "QuantumNetwork",
+        "dim": network.dim,
+        "num_layers": network.num_layers,
+        "descending": network.descending,
+        "allow_phase": network.allow_phase,
+    }
+    np.savez(
+        Path(path),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        params=network.get_flat_params(),
+    )
+
+
+def _read_meta(archive: np.lib.npyio.NpzFile, expected_kind: str) -> dict:
+    if "meta" not in archive or "params" not in archive:
+        raise SerializationError(
+            "file is missing 'meta'/'params' entries — not a repro model file"
+        )
+    try:
+        meta = json.loads(bytes(archive["meta"].tobytes()).decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"corrupt model metadata: {exc}") from exc
+    if meta.get("format_version") != _FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {meta.get('format_version')!r}"
+        )
+    if meta.get("kind") != expected_kind:
+        raise SerializationError(
+            f"expected a {expected_kind} file, got {meta.get('kind')!r}"
+        )
+    return meta
+
+
+def load_network(path: PathLike) -> QuantumNetwork:
+    """Load a network saved by :func:`save_network`."""
+    with np.load(Path(path)) as archive:
+        meta = _read_meta(archive, "QuantumNetwork")
+        net = QuantumNetwork(
+            dim=int(meta["dim"]),
+            num_layers=int(meta["num_layers"]),
+            descending=bool(meta["descending"]),
+            allow_phase=bool(meta["allow_phase"]),
+        )
+        net.set_flat_params(np.asarray(archive["params"], dtype=np.float64))
+    return net
+
+
+def save_autoencoder(autoencoder: QuantumAutoencoder, path: PathLike) -> None:
+    """Serialise a full autoencoder (both networks + projection)."""
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "QuantumAutoencoder",
+        "dim": autoencoder.dim,
+        "compressed_dim": autoencoder.compressed_dim,
+        "compression_layers": autoencoder.uc.num_layers,
+        "reconstruction_layers": autoencoder.ur.num_layers,
+        "allow_phase": autoencoder.uc.allow_phase,
+        "keep": autoencoder.projection.keep.tolist(),
+    }
+    np.savez(
+        Path(path),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        params=np.concatenate(
+            [autoencoder.uc.get_flat_params(), autoencoder.ur.get_flat_params()]
+        ),
+    )
+
+
+def load_autoencoder(path: PathLike) -> QuantumAutoencoder:
+    """Load an autoencoder saved by :func:`save_autoencoder`."""
+    with np.load(Path(path)) as archive:
+        meta = _read_meta(archive, "QuantumAutoencoder")
+        ae = QuantumAutoencoder(
+            dim=int(meta["dim"]),
+            compressed_dim=int(meta["compressed_dim"]),
+            compression_layers=int(meta["compression_layers"]),
+            reconstruction_layers=int(meta["reconstruction_layers"]),
+            projection=Projection(int(meta["dim"]), meta["keep"]),
+            allow_phase=bool(meta["allow_phase"]),
+        )
+        params = np.asarray(archive["params"], dtype=np.float64)
+        n_uc = ae.uc.num_parameters
+        if params.size != n_uc + ae.ur.num_parameters:
+            raise SerializationError(
+                f"parameter count {params.size} does not match architecture"
+            )
+        ae.uc.set_flat_params(params[:n_uc])
+        ae.ur.set_flat_params(params[n_uc:])
+    return ae

@@ -1,0 +1,90 @@
+"""Experiment-result serialisation (JSON with transparent array handling).
+
+Experiment harnesses return nested dictionaries mixing scalars, strings
+and numpy arrays; these helpers serialise them losslessly to JSON (arrays
+become nested lists tagged with their dtype so integers survive the round
+trip) for EXPERIMENTS.md bookkeeping and offline analysis.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Union
+
+import numpy as np
+
+from repro.exceptions import SerializationError
+
+__all__ = ["save_results", "load_results"]
+
+PathLike = Union[str, Path]
+
+_ARRAY_TAG = "__ndarray__"
+
+
+def _encode(obj: Any) -> Any:
+    if isinstance(obj, np.ndarray):
+        return {
+            _ARRAY_TAG: True,
+            "dtype": str(obj.dtype),
+            "data": obj.tolist(),
+        }
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    if isinstance(obj, dict):
+        return {str(k): _encode(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_encode(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        if isinstance(obj, float) and not np.isfinite(obj):
+            return {"__float__": repr(obj)}
+        return obj
+    raise SerializationError(
+        f"cannot serialise object of type {type(obj).__name__}"
+    )
+
+
+def _decode(obj: Any) -> Any:
+    if isinstance(obj, dict):
+        if obj.get(_ARRAY_TAG):
+            return np.asarray(obj["data"], dtype=np.dtype(obj["dtype"]))
+        if "__float__" in obj and len(obj) == 1:
+            return float(obj["__float__"])
+        return {k: _decode(v) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_decode(v) for v in obj]
+    return obj
+
+
+def save_results(results: dict, path: PathLike) -> None:
+    """Write a results dictionary to JSON.
+
+    Examples
+    --------
+    >>> import tempfile, os, numpy as np
+    >>> with tempfile.TemporaryDirectory() as d:
+    ...     p = os.path.join(d, "r.json")
+    ...     save_results({"acc": 97.75, "curve": np.arange(3)}, p)
+    ...     out = load_results(p)
+    >>> out["curve"].tolist()
+    [0, 1, 2]
+    """
+    if not isinstance(results, dict):
+        raise SerializationError(
+            f"results must be a dict, got {type(results).__name__}"
+        )
+    Path(path).write_text(
+        json.dumps(_encode(results), indent=2), encoding="utf-8"
+    )
+
+
+def load_results(path: PathLike) -> dict:
+    """Read a results dictionary written by :func:`save_results`."""
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"corrupt results file: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise SerializationError("results file does not contain a dict")
+    return _decode(raw)

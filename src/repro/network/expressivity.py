@@ -1,0 +1,139 @@
+"""Expressivity analysis of the layered mesh.
+
+The paper fixes ``l_C = 12`` and ``l_R = 14`` layers by hand.  These tools
+quantify the design space:
+
+- :func:`parameter_dimension` — the dimension of SO(N)
+  (``N(N-1)/2``), the number of independent rotations a universal mesh
+  needs;
+- :func:`minimum_layers` — the depth lower bound ``ceil(N/2)`` for a
+  layered nearest-neighbour mesh to reach that count;
+- :func:`tangent_rank` — the *numerical* rank of the parameter-to-unitary
+  tangent map at a configuration: how many independent directions the
+  parameterisation can actually move in locally (detects redundant
+  layers and degenerate initialisations);
+- :func:`layer_coverage_report` — the table behind DESIGN.md's
+  layer-count discussion.
+
+Measured result (see ``tests/network/test_expressivity.py`` and the
+architecture bench): the parameter-count bound ``ceil(N/2)`` is necessary
+but *not* sufficient for this chain topology — at ``N = 16`` the tangent
+rank saturates at 120 only from **16 layers** (= ``N``, matching the
+``N``-column universality of rectangular meshes in Clements et al.).  The
+paper's ``l_C = 12`` / ``l_R = 14`` networks have tangent ranks 114 / 119:
+not fully universal on SO(16), but ample for data of effective rank 4.
+:func:`universal_layers` returns the empirically sufficient depth ``N``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import NetworkConfigError
+from repro.network.quantum_network import QuantumNetwork
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "parameter_dimension",
+    "minimum_layers",
+    "universal_layers",
+    "tangent_rank",
+    "layer_coverage_report",
+]
+
+
+def parameter_dimension(dim: int) -> int:
+    """Dimension of SO(N): ``N(N-1)/2`` independent rotation angles."""
+    if dim < 2:
+        raise NetworkConfigError(f"dim must be >= 2, got {dim}")
+    return dim * (dim - 1) // 2
+
+
+def minimum_layers(dim: int) -> int:
+    """Parameter-count lower bound on depth: ``ceil(N/2)``.
+
+    Each layer contributes ``N - 1`` parameters, so
+    ``ceil(N(N-1)/2 / (N-1)) = ceil(N/2)``.  This is necessary but not
+    sufficient for the chain topology — see :func:`universal_layers`.
+    """
+    if dim < 2:
+        raise NetworkConfigError(f"dim must be >= 2, got {dim}")
+    return (dim + 1) // 2
+
+
+def universal_layers(dim: int) -> int:
+    """Depth at which the chain mesh becomes locally universal on SO(N).
+
+    Empirically (verified by :func:`tangent_rank` across dimensions) the
+    ascending nearest-neighbour chain needs ``N`` layers — consistent with
+    the ``N``-column rectangular decomposition of Clements et al. (paper
+    ref. [19]).
+    """
+    if dim < 2:
+        raise NetworkConfigError(f"dim must be >= 2, got {dim}")
+    return dim
+
+
+def tangent_rank(
+    network: QuantumNetwork,
+    atol: Optional[float] = None,
+) -> int:
+    """Numerical rank of ``d(vec U)/d(theta)`` at the current parameters.
+
+    Builds the Jacobian of the flattened network unitary with respect to
+    every theta via the exact derivative-gate forward pass, then counts
+    singular values above tolerance.  A full-rank tangent map
+    (``min(num_thetas, N(N-1)/2)``) means no locally wasted parameters.
+    """
+    if network.allow_phase:
+        raise NetworkConfigError(
+            "tangent_rank analyses the real mesh; complex networks span "
+            "U(N) and need the alpha directions included separately"
+        )
+    from repro.training.gradients import _forward_with_derivative_gate
+
+    n = network.dim
+    cols = []
+    eye = np.eye(n)
+    g = network.gates_per_layer
+    for p in range(network.num_layers):
+        for k in range(g):
+            du = _forward_with_derivative_gate(network, eye, p, k, False)
+            cols.append(np.real(du).ravel())
+    jac = np.stack(cols, axis=1)  # (N*N, P)
+    sv = np.linalg.svd(jac, compute_uv=False)
+    if atol is None:
+        atol = max(jac.shape) * np.finfo(np.float64).eps * (sv[0] if sv.size else 1.0)
+        atol = max(atol, 1e-9)
+    return int(np.sum(sv > atol))
+
+
+def layer_coverage_report(
+    dim: int,
+    layer_counts: List[int],
+    seed: int = 0,
+) -> List[Dict[str, object]]:
+    """Tangent-rank table across layer counts (at random parameters).
+
+    Returns one record per layer count with the parameter count, the
+    SO(N) target dimension, the measured tangent rank and whether the
+    mesh is locally surjective onto SO(N).
+    """
+    target = parameter_dimension(dim)
+    rng = ensure_rng(seed)
+    records: List[Dict[str, object]] = []
+    for layers in layer_counts:
+        net = QuantumNetwork(dim, layers).initialize("uniform", rng=rng)
+        rank = tangent_rank(net)
+        records.append(
+            {
+                "layers": layers,
+                "num_parameters": net.num_thetas,
+                "so_n_dimension": target,
+                "tangent_rank": rank,
+                "locally_universal": rank >= target,
+            }
+        )
+    return records

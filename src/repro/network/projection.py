@@ -1,0 +1,191 @@
+"""Compression projections ``P1`` / ``P0`` (Fig. 2 of the paper).
+
+``P1`` keeps a ``d``-dimensional subspace of the ``N``-dimensional output of
+the compression network; ``P0 = I - P1`` is the discarded ("trash")
+complement.  "By adjusting P1 and P0, we can achieve compression with
+different space sizes" (Section II-B).
+
+The paper's worked example for 8-dimensional data keeps the *last* four
+basis states (``(b_i)^2 = [0,0,0,0,.25,.25,.25,.25]``), so
+:meth:`Projection.last` is the default construction used by the experiment
+configs; :meth:`Projection.first` and arbitrary index sets are also
+supported.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ProjectionError
+
+__all__ = ["Projection"]
+
+
+class Projection:
+    """A diagonal 0/1 projection onto a subset of computational basis states.
+
+    Parameters
+    ----------
+    dim:
+        Ambient dimension ``N``.
+    keep:
+        Sorted iterable of basis-state indices retained by ``P1``.
+
+    Examples
+    --------
+    >>> p = Projection.last(8, 4)
+    >>> p.keep.tolist()
+    [4, 5, 6, 7]
+    >>> p.compressed_dim
+    4
+    """
+
+    def __init__(self, dim: int, keep: Iterable[int]) -> None:
+        if not isinstance(dim, (int, np.integer)) or dim < 2:
+            raise ProjectionError(f"dim must be an int >= 2, got {dim!r}")
+        self.dim = int(dim)
+        idx = np.unique(np.asarray(list(keep), dtype=np.int64))
+        if idx.size == 0:
+            raise ProjectionError("P1 must keep at least one basis state")
+        if idx.size >= self.dim:
+            raise ProjectionError(
+                f"P1 keeping {idx.size} of {self.dim} states is not a "
+                "compression; choose d < N"
+            )
+        if idx.min() < 0 or idx.max() >= self.dim:
+            raise ProjectionError(
+                f"keep indices must lie in [0, {self.dim}), got range "
+                f"[{idx.min()}, {idx.max()}]"
+            )
+        self.keep = idx
+        mask = np.zeros(self.dim, dtype=bool)
+        mask[idx] = True
+        self._mask = mask
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def last(cls, dim: int, d: int) -> "Projection":
+        """Keep the last ``d`` basis states (the paper's example layout)."""
+        cls._check_d(dim, d)
+        return cls(dim, range(dim - d, dim))
+
+    @classmethod
+    def first(cls, dim: int, d: int) -> "Projection":
+        """Keep the first ``d`` basis states."""
+        cls._check_d(dim, d)
+        return cls(dim, range(d))
+
+    @staticmethod
+    def _check_d(dim: int, d: int) -> None:
+        if not isinstance(d, (int, np.integer)) or not 1 <= d < dim:
+            raise ProjectionError(
+                f"compressed dimension d must satisfy 1 <= d < N={dim}, "
+                f"got {d!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def compressed_dim(self) -> int:
+        """The compression channel count ``d``."""
+        return int(self.keep.size)
+
+    @property
+    def mask(self) -> np.ndarray:
+        """Boolean keep-mask of length ``dim`` (read-only)."""
+        view = self._mask.view()
+        view.flags.writeable = False
+        return view
+
+    def complement(self) -> "Projection":
+        """The trash projection ``P0 = I - P1`` (as its own Projection)."""
+        return Projection(self.dim, np.nonzero(~self._mask)[0])
+
+    def matrix(self) -> np.ndarray:
+        """Dense ``N x N`` matrix of ``P1``."""
+        return np.diag(self._mask.astype(np.float64))
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        """``P1 @ data`` — zero the discarded rows (out of place)."""
+        arr = np.asarray(data)
+        if arr.shape[0] != self.dim:
+            raise ProjectionError(
+                f"data has {arr.shape[0]} rows, projection dim is {self.dim}"
+            )
+        out = np.array(arr, copy=True)
+        if out.ndim == 1:
+            out[~self._mask] = 0
+        else:
+            out[~self._mask, ...] = 0
+        return out
+
+    def apply_inplace(self, data: np.ndarray) -> None:
+        """Zero the discarded rows of ``data`` in place."""
+        if data.shape[0] != self.dim:
+            raise ProjectionError(
+                f"data has {data.shape[0]} rows, projection dim is {self.dim}"
+            )
+        data[~self._mask, ...] = 0
+
+    def restrict(self, data: np.ndarray) -> np.ndarray:
+        """Extract the kept rows: ``(N, M) -> (d, M)`` compact form.
+
+        This is the literal "compressed image" the paper measures — ``d``
+        probability amplitudes per sample.
+        """
+        arr = np.asarray(data)
+        if arr.shape[0] != self.dim:
+            raise ProjectionError(
+                f"data has {arr.shape[0]} rows, projection dim is {self.dim}"
+            )
+        return arr[self.keep, ...].copy()
+
+    def embed(self, compact: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`restrict`: place ``(d, M)`` rows back into ``N``."""
+        arr = np.asarray(compact)
+        if arr.shape[0] != self.compressed_dim:
+            raise ProjectionError(
+                f"compact data has {arr.shape[0]} rows, expected "
+                f"{self.compressed_dim}"
+            )
+        shape = (self.dim,) + arr.shape[1:]
+        out = np.zeros(shape, dtype=arr.dtype)
+        out[self.keep, ...] = arr
+        return out
+
+    def retained_probability(self, data: np.ndarray) -> np.ndarray:
+        """Per-state probability mass inside the kept subspace.
+
+        For a perfectly trained compression network this approaches 1 for
+        every sample (the compression-target condition of Section II-D).
+        """
+        arr = np.asarray(data)
+        if arr.shape[0] != self.dim:
+            raise ProjectionError(
+                f"data has {arr.shape[0]} rows, projection dim is {self.dim}"
+            )
+        probs = np.abs(arr) ** 2
+        if probs.ndim == 1:
+            return probs[self._mask].sum()
+        return probs[self._mask, ...].sum(axis=0)
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Projection):
+            return NotImplemented
+        return self.dim == other.dim and np.array_equal(self.keep, other.keep)
+
+    def __hash__(self) -> int:
+        return hash((self.dim, self.keep.tobytes()))
+
+    def __repr__(self) -> str:
+        return (
+            f"Projection(dim={self.dim}, d={self.compressed_dim}, "
+            f"keep={self.keep.tolist()})"
+        )

@@ -1,0 +1,300 @@
+"""Multi-layer quantum network — the paper's trainable object.
+
+A :class:`QuantumNetwork` stacks ``num_layers`` :class:`GateLayer` s; the
+paper's compression network ``U_C`` uses 12 layers and the reconstruction
+network ``U_R`` 14 layers on ``N = 16`` modes, giving ``12 x 15`` and
+``14 x 15`` trainable ``theta`` parameters respectively (Section IV-A).
+
+The class exposes a *flat parameter vector* interface (`get_flat_params` /
+`set_flat_params`) which the optimizers and all four gradient methods use,
+plus a traced forward pass (`forward_trace`) that records, for every gate,
+the two state rows it consumed — the minimal tape needed for exact
+reverse-mode (adjoint) differentiation at ``O(1)`` extra memory per gate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DimensionError, NetworkConfigError
+from repro.network.layers import GateLayer
+from repro.simulator.circuit import Circuit
+from repro.simulator.state import StateBatch
+from repro.utils.rng import ensure_rng
+
+__all__ = ["QuantumNetwork", "ForwardTrace"]
+
+
+class ForwardTrace:
+    """Tape recorded by :meth:`QuantumNetwork.forward_trace`.
+
+    Attributes
+    ----------
+    output:
+        The ``(N, M)`` output of the forward pass.
+    row_tape:
+        ``(num_gates_total, 2, M)`` array; entry ``g`` holds rows
+        ``(k, k+1)`` of the state *immediately before* gate ``g`` was
+        applied (gates indexed in application order).
+    gate_index:
+        ``(num_gates_total, 2)`` int array of ``(layer, theta_index)`` per
+        applied gate, in application order.
+    modes:
+        ``(num_gates_total,)`` int array of the mode ``k`` of each gate.
+    """
+
+    __slots__ = ("output", "row_tape", "gate_index", "modes")
+
+    def __init__(
+        self,
+        output: np.ndarray,
+        row_tape: np.ndarray,
+        gate_index: np.ndarray,
+        modes: np.ndarray,
+    ) -> None:
+        self.output = output
+        self.row_tape = row_tape
+        self.gate_index = gate_index
+        self.modes = modes
+
+
+class QuantumNetwork:
+    """A stack of gate layers with flat-parameter access.
+
+    Parameters
+    ----------
+    dim:
+        Number of modes ``N``.
+    num_layers:
+        Number of layers (``l_C`` or ``l_R`` in the paper).
+    descending:
+        Gate order within each layer; ``False`` (ascending) for the
+        compression network, ``True`` for the reconstruction network whose
+        gates are "connected in reverse order" (Section III-B).
+    allow_phase:
+        If True the network also carries trainable ``alpha`` phases (the
+        complex extension of Section V); flat parameters are then the
+        concatenation ``[thetas..., alphas...]``.
+
+    Examples
+    --------
+    >>> net = QuantumNetwork(dim=4, num_layers=2)
+    >>> net.num_parameters
+    6
+    >>> u = net.unitary()
+    >>> bool(np.allclose(u, np.eye(4)))  # zero-initialised -> identity
+    True
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        num_layers: int,
+        descending: bool = False,
+        allow_phase: bool = False,
+    ) -> None:
+        if not isinstance(num_layers, (int, np.integer)) or num_layers < 1:
+            raise NetworkConfigError(
+                f"num_layers must be an int >= 1, got {num_layers!r}"
+            )
+        if not isinstance(dim, (int, np.integer)) or dim < 2:
+            raise NetworkConfigError(f"dim must be an int >= 2, got {dim!r}")
+        self.dim = int(dim)
+        self.num_layers = int(num_layers)
+        self.descending = bool(descending)
+        self.allow_phase = bool(allow_phase)
+        self.layers: List[GateLayer] = [
+            GateLayer(
+                self.dim,
+                alphas=np.zeros(self.dim - 1) if allow_phase else None,
+                descending=descending,
+            )
+            for _ in range(self.num_layers)
+        ]
+
+    # ------------------------------------------------------------------
+    # parameter plumbing
+    # ------------------------------------------------------------------
+    @property
+    def gates_per_layer(self) -> int:
+        return self.dim - 1
+
+    @property
+    def num_thetas(self) -> int:
+        return self.num_layers * self.gates_per_layer
+
+    @property
+    def num_parameters(self) -> int:
+        """Total trainable parameters (theta, plus alpha if enabled)."""
+        return self.num_thetas * (2 if self.allow_phase else 1)
+
+    @property
+    def theta_matrix(self) -> np.ndarray:
+        """``(num_layers, N-1)`` view-copy of all thetas."""
+        return np.stack([layer.thetas for layer in self.layers])
+
+    def get_flat_params(self) -> np.ndarray:
+        thetas = np.concatenate([layer.thetas for layer in self.layers])
+        if not self.allow_phase:
+            return thetas
+        alphas = np.concatenate(
+            [np.asarray(layer.alphas) for layer in self.layers]
+        )
+        return np.concatenate([thetas, alphas])
+
+    def set_flat_params(self, params: np.ndarray) -> None:
+        arr = np.asarray(params, dtype=np.float64).ravel()
+        if arr.size != self.num_parameters:
+            raise NetworkConfigError(
+                f"expected {self.num_parameters} parameters, got {arr.size}"
+            )
+        if not np.all(np.isfinite(arr)):
+            raise NetworkConfigError("parameters contain NaN or Inf")
+        g = self.gates_per_layer
+        for p, layer in enumerate(self.layers):
+            layer.thetas[:] = arr[p * g : (p + 1) * g]
+        if self.allow_phase:
+            off = self.num_thetas
+            for p, layer in enumerate(self.layers):
+                assert layer.alphas is not None
+                layer.alphas[:] = arr[off + p * g : off + (p + 1) * g]
+
+    def initialize(
+        self,
+        method: str = "uniform",
+        rng: Optional[np.random.Generator] = None,
+        **kwargs: float,
+    ) -> "QuantumNetwork":
+        """Initialise parameters in place; see :mod:`repro.training.initializers`."""
+        from repro.training.initializers import get_initializer
+
+        init = get_initializer(method)
+        self.set_flat_params(
+            init(self.num_parameters, rng=ensure_rng(rng), **kwargs)
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # forward passes
+    # ------------------------------------------------------------------
+    def _check_dim(self, data: np.ndarray) -> None:
+        if data.ndim != 2 or data.shape[0] != self.dim:
+            raise DimensionError(
+                f"expected (N={self.dim}, M) state batch, got shape "
+                f"{data.shape}"
+            )
+
+    def forward_inplace(self, data: np.ndarray, inverse: bool = False) -> None:
+        """Apply all layers in place (layer 0 first; reversed for inverse)."""
+        self._check_dim(data)
+        layers = reversed(self.layers) if inverse else self.layers
+        for layer in layers:
+            layer.apply_inplace(data, inverse=inverse)
+
+    def forward(
+        self, data: np.ndarray | StateBatch, inverse: bool = False
+    ) -> np.ndarray:
+        """Out-of-place forward pass; accepts and returns ``(N, M)`` arrays.
+
+        A :class:`StateBatch` input returns the raw ``(N, M)`` array of the
+        transformed batch (callers wrap as needed).
+        """
+        arr = data.data if isinstance(data, StateBatch) else np.asarray(data)
+        squeeze = arr.ndim == 1
+        # Phase-bearing networks need a complex state matrix even for real
+        # (amplitude-encoded) inputs.
+        dtype = (
+            np.complex128
+            if (self.allow_phase or np.iscomplexobj(arr))
+            else np.float64
+        )
+        out = np.array(arr.reshape(self.dim, -1), dtype=dtype, copy=True)
+        self.forward_inplace(out, inverse=inverse)
+        return out.ravel() if squeeze else out
+
+    def forward_trace(self, data: np.ndarray) -> ForwardTrace:
+        """Forward pass recording the two-row tape for adjoint gradients.
+
+        Only supported for real networks (the paper's setting); the complex
+        extension differentiates via the derivative-gate method instead.
+        """
+        if self.allow_phase and not all(l.is_real for l in self.layers):
+            raise NetworkConfigError(
+                "forward_trace supports real networks only; use the "
+                "'derivative' gradient method for complex networks"
+            )
+        self._check_dim(data)
+        m = data.shape[1]
+        total = self.num_thetas
+        row_tape = np.empty((total, 2, m), dtype=np.float64)
+        gate_index = np.empty((total, 2), dtype=np.int64)
+        modes = np.empty(total, dtype=np.int64)
+        out = np.array(data, dtype=np.float64, copy=True)
+        g = 0
+        for p, layer in enumerate(self.layers):
+            for k in layer.mode_sequence():
+                k = int(k)
+                row_tape[g, 0] = out[k]
+                row_tape[g, 1] = out[k + 1]
+                gate_index[g, 0] = p
+                gate_index[g, 1] = k
+                modes[g] = k
+                c = np.cos(layer.thetas[k])
+                s = np.sin(layer.thetas[k])
+                rk = out[k].copy()
+                out[k] = c * rk - s * out[k + 1]
+                out[k + 1] = s * rk + c * out[k + 1]
+                g += 1
+        return ForwardTrace(out, row_tape, gate_index, modes)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def unitary(self) -> np.ndarray:
+        """Materialise the full network matrix (inspection / tests only)."""
+        dtype = np.complex128 if (
+            self.allow_phase and not all(l.is_real for l in self.layers)
+        ) else np.float64
+        u = np.eye(self.dim, dtype=dtype)
+        self.forward_inplace(u)
+        return u
+
+    def as_circuit(self) -> Circuit:
+        c = Circuit(self.dim)
+        for layer in self.layers:
+            c.extend(layer.as_circuit().gates)
+        return c
+
+    def reversed_structure(self) -> "QuantumNetwork":
+        """Fresh network with the opposite gate order and zeroed parameters.
+
+        This is how the paper builds ``U_R`` from ``U_C``'s topology: "the
+        combination of the quantum gates in the compression network ...
+        connected in reverse order, so the network parameters need to be
+        retrained" (Section II-C).
+        """
+        return QuantumNetwork(
+            self.dim,
+            self.num_layers,
+            descending=not self.descending,
+            allow_phase=self.allow_phase,
+        )
+
+    def copy(self) -> "QuantumNetwork":
+        clone = QuantumNetwork(
+            self.dim,
+            self.num_layers,
+            descending=self.descending,
+            allow_phase=self.allow_phase,
+        )
+        clone.set_flat_params(self.get_flat_params())
+        return clone
+
+    def __repr__(self) -> str:
+        order = "descending" if self.descending else "ascending"
+        return (
+            f"QuantumNetwork(dim={self.dim}, num_layers={self.num_layers}, "
+            f"{order}, params={self.num_parameters})"
+        )

@@ -1,0 +1,52 @@
+"""Beamsplitter block matrices, ideal and lossy.
+
+The ideal block is the same ``T(theta, alpha)`` as
+:class:`repro.simulator.gates.BeamsplitterGate`; this module adds the
+*lossy* variant used by the hardware-realism ablation: a uniform amplitude
+transmission ``sqrt(1 - loss)`` multiplying the block, the standard
+phenomenological insertion-loss model for integrated photonics.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import GateError
+
+__all__ = ["beamsplitter_block", "lossy_beamsplitter_block"]
+
+
+def beamsplitter_block(theta: float, alpha: float = 0.0) -> np.ndarray:
+    """Ideal 2x2 beamsplitter block (Clements convention, Fig. 2).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> b = beamsplitter_block(0.0)
+    >>> np.allclose(b, np.eye(2))
+    True
+    """
+    if not (math.isfinite(theta) and math.isfinite(alpha)):
+        raise GateError("theta and alpha must be finite")
+    c, s = math.cos(theta), math.sin(theta)
+    if alpha == 0.0:
+        return np.array([[c, -s], [s, c]])
+    phase = complex(math.cos(alpha), math.sin(alpha))
+    return np.array([[phase * c, -s], [phase * s, c]], dtype=np.complex128)
+
+
+def lossy_beamsplitter_block(
+    theta: float, loss: float, alpha: float = 0.0
+) -> np.ndarray:
+    """Beamsplitter with fractional power loss per pass.
+
+    ``loss`` is the power (intensity) loss in ``[0, 1)``; amplitudes are
+    scaled by ``sqrt(1 - loss)``.  The resulting block is sub-unitary:
+    ``B^dagger B = (1 - loss) I``, which is how photon loss appears at the
+    amplitude level (the lost population is traced out).
+    """
+    if not 0.0 <= loss < 1.0:
+        raise GateError(f"loss must be in [0, 1), got {loss}")
+    return math.sqrt(1.0 - loss) * beamsplitter_block(theta, alpha)

@@ -1,0 +1,188 @@
+"""Programmable multiport interferometer with imperfection models.
+
+The paper's deployment story is that trained parameters "can also be
+directly set into the corresponding position interferometer for physical
+implementation" (Section III-C).  :class:`Interferometer` models that
+device: a rectangular mesh whose splitting angles are programmed from a
+trained :class:`~repro.network.quantum_network.QuantumNetwork`, subject to
+an :class:`ImperfectionModel` capturing the dominant hardware errors:
+
+- ``theta_sigma`` — Gaussian miscalibration of each programmed angle
+  (thermo-optic phase-setting error);
+- ``loss_per_gate`` — fractional power loss per beamsplitter crossing
+  (insertion loss), making the transfer sub-unitary;
+- finite measurement shots are modelled downstream by
+  :func:`repro.simulator.measurement.estimate_probabilities`.
+
+The hardware-realism bench sweeps these knobs to show how the paper's
+accuracy degrades on a physical device.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import GateError, NetworkConfigError
+from repro.network.quantum_network import QuantumNetwork
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ImperfectionModel", "Interferometer"]
+
+
+@dataclass(frozen=True)
+class ImperfectionModel:
+    """Hardware-error parameters for a programmed mesh.
+
+    Attributes
+    ----------
+    theta_sigma:
+        Std-dev (radians) of i.i.d. Gaussian error added to every
+        programmed angle.
+    loss_per_gate:
+        Power loss per beamsplitter in ``[0, 1)``; amplitudes through a
+        gate are scaled by ``sqrt(1 - loss_per_gate)``.
+    """
+
+    theta_sigma: float = 0.0
+    loss_per_gate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.theta_sigma < 0 or not math.isfinite(self.theta_sigma):
+            raise GateError(
+                f"theta_sigma must be >= 0, got {self.theta_sigma}"
+            )
+        if not 0.0 <= self.loss_per_gate < 1.0:
+            raise GateError(
+                f"loss_per_gate must be in [0, 1), got {self.loss_per_gate}"
+            )
+
+    @property
+    def is_ideal(self) -> bool:
+        return self.theta_sigma == 0.0 and self.loss_per_gate == 0.0
+
+
+class Interferometer:
+    """A mesh of beamsplitters programmed with explicit angle settings.
+
+    Parameters
+    ----------
+    dim:
+        Number of optical modes.
+    thetas:
+        ``(layers, dim - 1)`` programmed angles.
+    descending:
+        Gate order within a layer (matches the source network).
+    imperfections:
+        Optional :class:`ImperfectionModel`; defaults to ideal.
+    rng:
+        Generator used to draw the *frozen* miscalibration: angle errors
+        are sampled once at programming time (a fabricated/calibrated chip
+        has a fixed error, not a fresh one per shot).
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        thetas: np.ndarray,
+        descending: bool = False,
+        imperfections: Optional[ImperfectionModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        theta = np.asarray(thetas, dtype=np.float64)
+        if theta.ndim != 2 or theta.shape[1] != dim - 1:
+            raise NetworkConfigError(
+                f"thetas must be (layers, {dim - 1}), got {theta.shape}"
+            )
+        if not np.all(np.isfinite(theta)):
+            raise NetworkConfigError("thetas contain NaN or Inf")
+        self.dim = int(dim)
+        self.descending = bool(descending)
+        self.imperfections = imperfections or ImperfectionModel()
+        self.programmed_thetas = theta.copy()
+        if self.imperfections.theta_sigma > 0:
+            gen = ensure_rng(rng)
+            self.effective_thetas = theta + gen.normal(
+                0.0, self.imperfections.theta_sigma, size=theta.shape
+            )
+        else:
+            self.effective_thetas = theta.copy()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(
+        cls,
+        network: QuantumNetwork,
+        imperfections: Optional[ImperfectionModel] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> "Interferometer":
+        """Program an interferometer with a trained network's angles."""
+        if network.allow_phase:
+            raise NetworkConfigError(
+                "Interferometer models the paper's real mesh; complex "
+                "networks would additionally need phase shifters"
+            )
+        return cls(
+            network.dim,
+            network.theta_matrix,
+            descending=network.descending,
+            imperfections=imperfections,
+            rng=rng,
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return self.programmed_thetas.shape[0]
+
+    @property
+    def num_gates(self) -> int:
+        return self.num_layers * (self.dim - 1)
+
+    def total_transmission(self) -> float:
+        """Worst-case power transmission through the full mesh.
+
+        Every mode crosses at most ``2`` gates per layer (its left and
+        right neighbours); with per-gate power loss ``l`` the deepest path
+        sees ``(1 - l)`` per crossing.  We report the uniform-loss figure
+        ``(1 - l)^(2 * layers)``, the standard depth-loss estimate for
+        rectangular meshes.
+        """
+        keep = 1.0 - self.imperfections.loss_per_gate
+        return float(keep ** (2 * self.num_layers))
+
+    # ------------------------------------------------------------------
+    def apply(self, data: np.ndarray) -> np.ndarray:
+        """Propagate ``(N, M)`` amplitudes through the (imperfect) mesh.
+
+        With loss, output columns are sub-normalised; renormalising and
+        resampling is the caller's choice (the benches post-select).
+        """
+        arr = np.asarray(data, dtype=np.float64)
+        squeeze = arr.ndim == 1
+        out = np.array(arr.reshape(self.dim, -1), copy=True)
+        keep_amp = math.sqrt(1.0 - self.imperfections.loss_per_gate)
+        order = range(self.dim - 1)
+        for p in range(self.num_layers):
+            modes = reversed(order) if self.descending else order
+            for k in modes:
+                theta = self.effective_thetas[p, k]
+                c, s = math.cos(theta), math.sin(theta)
+                r0 = out[k].copy()
+                r1 = out[k + 1]
+                out[k] = keep_amp * (c * r0 - s * r1)
+                out[k + 1] = keep_amp * (s * r0 + c * r1)
+        return out.ravel() if squeeze else out
+
+    def transfer_matrix(self) -> np.ndarray:
+        """The (sub-)unitary ``N x N`` transfer matrix of the device."""
+        return self.apply(np.eye(self.dim))
+
+    def __repr__(self) -> str:
+        imp = self.imperfections
+        return (
+            f"Interferometer(dim={self.dim}, layers={self.num_layers}, "
+            f"theta_sigma={imp.theta_sigma}, loss={imp.loss_per_gate})"
+        )

@@ -1,0 +1,273 @@
+"""Mesh layouts and Givens-chain synthesis of orthogonal matrices.
+
+Two complementary facilities:
+
+- :func:`rectangular_mesh_layout` describes the gate placement of the
+  paper's network (Fig. 3): ``layers`` columns, each containing the
+  ``N-1`` adjacent-mode gates ``(0,1), (1,2), ..., (N-2, N-1)`` — the
+  rectangular arrangement of Clements et al. (paper ref. [19]);
+- :func:`reck_decompose` factors an arbitrary real orthogonal matrix into
+  a chain of adjacent-mode Givens rotations plus a ±1 diagonal — the
+  triangular (Reck-style) synthesis.  This answers the deployment
+  question: any trained ``U_C`` / ``U_R`` (or any target orthogonal) can
+  be programmed into a physical mesh, and
+  :func:`circuit_from_orthogonal` returns the executable
+  :class:`~repro.simulator.circuit.Circuit`.
+
+Sign diagonals: a pair of ``-1`` s on modes ``(a, b)`` is realised exactly
+by the chain of ``pi``-rotations at modes ``a, a+1, ..., b-1`` (each
+``G(pi)`` negates two adjacent modes; the interior modes cancel pairwise).
+A matrix with ``det = -1`` contains an *odd* number of sign flips and lies
+outside SO(N) — it cannot be built from rotations at all and physically
+requires a phase shifter, so :func:`circuit_from_orthogonal` raises for it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import DecompositionError
+from repro.simulator.circuit import Circuit
+from repro.simulator.gates import BeamsplitterGate, PhaseGate
+
+__all__ = [
+    "rectangular_mesh_layout",
+    "mesh_depth",
+    "reck_decompose",
+    "circuit_from_orthogonal",
+    "circuit_from_unitary",
+]
+
+
+def rectangular_mesh_layout(dim: int, layers: int) -> List[List[int]]:
+    """Gate mode-positions of the paper's layered mesh (Fig. 3).
+
+    Returns one list per layer; each inner list holds the first mode index
+    ``k`` of every gate ``U^(k,k+1)`` in application order.
+
+    Examples
+    --------
+    >>> rectangular_mesh_layout(4, 2)
+    [[0, 1, 2], [0, 1, 2]]
+    """
+    if dim < 2:
+        raise DecompositionError(f"dim must be >= 2, got {dim}")
+    if layers < 1:
+        raise DecompositionError(f"layers must be >= 1, got {layers}")
+    return [list(range(dim - 1)) for _ in range(layers)]
+
+
+def mesh_depth(dim: int, layers: int) -> int:
+    """Total gate count of a layered mesh: ``layers * (N - 1)``.
+
+    The paper notes each layer is "N-1 quantum gate combinations"; full
+    SO(N) coverage needs ``N(N-1)/2`` independent rotations, i.e. at least
+    ``ceil(N/2)`` layers.
+    """
+    if dim < 2:
+        raise DecompositionError(f"dim must be >= 2, got {dim}")
+    if layers < 1:
+        raise DecompositionError(f"layers must be >= 1, got {layers}")
+    return layers * (dim - 1)
+
+
+def reck_decompose(
+    u: np.ndarray, atol: float = 1e-10
+) -> Tuple[List[Tuple[int, float]], np.ndarray]:
+    """Factor a real orthogonal ``u`` into adjacent Givens rotations.
+
+    Returns ``(rotations, signs)`` with ``rotations`` a list of
+    ``(mode, theta)`` pairs such that
+
+    ``u = G(mode_1, theta_1) @ ... @ G(mode_K, theta_K) @ diag(signs)``
+
+    where each ``G`` is the rotation ``[[c, -s], [s, c]]`` embedded at
+    ``(mode, mode+1)`` and ``signs`` is a ±1 vector with
+    ``prod(signs) = det(u)``.
+
+    Raises
+    ------
+    DecompositionError
+        If ``u`` is not square or not orthogonal to tolerance ``atol``.
+    """
+    mat = np.asarray(u, dtype=np.float64)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise DecompositionError(
+            f"expected a square matrix, got shape {mat.shape}"
+        )
+    n = mat.shape[0]
+    if np.max(np.abs(mat.T @ mat - np.eye(n))) > max(atol, 1e-8):
+        raise DecompositionError(
+            "matrix is not orthogonal; reck_decompose only applies to real "
+            "orthogonal matrices (polar-project first if needed)"
+        )
+    work = mat.copy()
+    applied: List[Tuple[int, float]] = []
+    # QR by adjacent Givens: null below-diagonal entries column by column,
+    # bottom-up, rotating rows (row-1, row) from the left with G^T(theta):
+    # [[c, s], [-s, c]] @ [a; b] = [r; 0] for theta = atan2(b, a).
+    for col in range(n - 1):
+        for row in range(n - 1, col, -1):
+            a = work[row - 1, col]
+            b = work[row, col]
+            if abs(b) <= atol:
+                continue
+            theta = math.atan2(b, a)
+            c, s = math.cos(theta), math.sin(theta)
+            r0 = work[row - 1].copy()
+            r1 = work[row].copy()
+            work[row - 1] = c * r0 + s * r1
+            work[row] = -s * r0 + c * r1
+            applied.append((row - 1, theta))
+    diag = np.diagonal(work).copy()
+    if np.max(np.abs(work - np.diag(diag))) > 1e-7:
+        raise DecompositionError(
+            "Givens reduction did not reach diagonal form; the input may "
+            "be ill-conditioned"
+        )
+    signs = np.sign(diag)
+    signs[signs == 0] = 1.0
+    # (G^T_L ... G^T_1) u = D  =>  u = G_1 G_2 ... G_L D, in `applied` order.
+    return applied, signs
+
+
+def _sign_pair_gates(a: int, b: int) -> List[BeamsplitterGate]:
+    """Gates realising ``diag`` with ``-1`` exactly at modes ``a`` and ``b``.
+
+    The chain of ``G(pi)`` at modes ``a..b-1`` negates modes ``a`` and
+    ``b`` only: each ``G(pi)`` negates two adjacent modes and the interior
+    modes are negated twice.
+    """
+    if not a < b:
+        raise DecompositionError(f"need a < b, got ({a}, {b})")
+    return [BeamsplitterGate(m, math.pi) for m in range(a, b)]
+
+
+def circuit_from_orthogonal(u: np.ndarray, atol: float = 1e-10) -> Circuit:
+    """Executable circuit reproducing a real orthogonal ``u`` with det = +1.
+
+    Combines :func:`reck_decompose` with exact ``pi``-rotation realisation
+    of the sign diagonal.  Gates are appended so that
+    ``circuit.apply(x) == u @ x``.
+
+    Raises
+    ------
+    DecompositionError
+        If ``det(u) = -1``: such a matrix is a reflection and cannot be
+        composed from rotations; physically it needs one ``pi`` phase
+        shifter (see :class:`repro.simulator.gates.PhaseGate`).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.simulator.unitary import random_orthogonal
+    >>> u = random_orthogonal(5, np.random.default_rng(0), special=True)
+    >>> c = circuit_from_orthogonal(u)
+    >>> bool(np.allclose(c.unitary(), u, atol=1e-9))
+    True
+    """
+    rotations, signs = reck_decompose(u, atol=atol)
+    n = np.asarray(u).shape[0]
+    neg = [i for i in range(n) if signs[i] < 0]
+    if len(neg) % 2 == 1:
+        raise DecompositionError(
+            "det(u) = -1: a reflection cannot be built from rotations "
+            "alone; use circuit_from_unitary (adds phase shifters) or "
+            "flip one column upstream"
+        )
+    sign_gates: List[BeamsplitterGate] = []
+    for j in range(0, len(neg), 2):
+        sign_gates.extend(_sign_pair_gates(neg[j], neg[j + 1]))
+    circuit = Circuit(n)
+    # u = G_1 ... G_L D.  Circuit.apply computes G_last ... G_first x, so
+    # append D's gates first, then the rotations in reverse factor order.
+    for g in sign_gates:
+        circuit.append(g)
+    for mode, theta in reversed(rotations):
+        circuit.append(BeamsplitterGate(mode, theta))
+    return circuit
+
+
+def circuit_from_unitary(u: np.ndarray, atol: float = 1e-10) -> Circuit:
+    """Synthesise an arbitrary U(N) unitary: rotations + phase shifters.
+
+    This is the full Clements-style capability of the paper's ref. [19]:
+    where :func:`circuit_from_orthogonal` covers the paper's real network,
+    a general complex unitary additionally needs one phase shifter ahead
+    of each nulling rotation plus a final output phase layer.
+
+    The factorisation nulls below-diagonal entries column by column: to
+    null ``b = u[row, col]`` against ``a = u[row-1, col]`` we first align
+    phases with ``P = diag(..., e^{i phi}, ...)`` on ``row`` (with ``phi =
+    arg(a) - arg(b)``), then apply the real Givens rotation with ``theta =
+    atan2(|b|, |a|)``.  The residual diagonal of unit-modulus phases is
+    realised by one :class:`PhaseGate` per mode.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.simulator.unitary import haar_random_unitary
+    >>> u = haar_random_unitary(5, np.random.default_rng(0))
+    >>> c = circuit_from_unitary(u)
+    >>> bool(np.allclose(c.unitary(), u, atol=1e-9))
+    True
+    """
+    mat = np.asarray(u, dtype=np.complex128)
+    if mat.ndim != 2 or mat.shape[0] != mat.shape[1]:
+        raise DecompositionError(
+            f"expected a square matrix, got shape {mat.shape}"
+        )
+    n = mat.shape[0]
+    if np.max(np.abs(np.conj(mat.T) @ mat - np.eye(n))) > max(atol, 1e-8):
+        raise DecompositionError("matrix is not unitary")
+    work = mat.copy()
+    applied: List[Tuple[str, int, float]] = []  # ("phase"|"rot", mode, value)
+    for col in range(n - 1):
+        for row in range(n - 1, col, -1):
+            a = work[row - 1, col]
+            b = work[row, col]
+            if abs(b) <= atol:
+                continue
+            # Phase-align row `row` with row `row-1` (on this column).
+            phi = float(np.angle(a) - np.angle(b)) if abs(a) > atol else float(
+                -np.angle(b)
+            )
+            work[row] = work[row] * np.exp(1j * phi)
+            applied.append(("phase", row, phi))
+            a = work[row - 1, col]
+            b = work[row, col]
+            theta = math.atan2(abs(b), abs(a)) if abs(a) > atol else math.pi / 2
+            # With aligned phases the pair (a, b) = e^{i psi}(|a|, |b|), so
+            # the real rotation nulls b exactly.
+            c, s = math.cos(theta), math.sin(theta)
+            r0 = work[row - 1].copy()
+            r1 = work[row].copy()
+            work[row - 1] = c * r0 + s * r1
+            work[row] = -s * r0 + c * r1
+            applied.append(("rot", row - 1, theta))
+    diag = np.diagonal(work).copy()
+    if np.max(np.abs(work - np.diag(diag))) > 1e-7:
+        raise DecompositionError(
+            "unitary reduction did not reach diagonal form"
+        )
+    if np.max(np.abs(np.abs(diag) - 1.0)) > 1e-7:
+        raise DecompositionError("residual diagonal is not unit-modulus")
+    # (ops_L ... ops_1) u = D  =>  u = inv(ops_1) ... inv(ops_L) D.
+    circuit = Circuit(n)
+    for mode in range(n):
+        phase = float(np.angle(diag[mode]))
+        if abs(phase) > atol:
+            circuit.append(PhaseGate(mode, phase))
+    for kind, mode, value in reversed(applied):
+        if kind == "phase":
+            # inverse of diag phase phi on `mode` is -phi... but we need
+            # the *forward* factor: applied op was P(phi); its inverse in
+            # the factorisation of u is P(-phi).
+            circuit.append(PhaseGate(mode, -value))
+        else:
+            # inverse of G^T(theta) is G(theta).
+            circuit.append(BeamsplitterGate(mode, value))
+    return circuit

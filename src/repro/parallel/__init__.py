@@ -1,0 +1,23 @@
+"""HPC execution layer: chunked batch propagation and process-pool sweeps.
+
+Following the scientific-Python optimisation guidance (vectorise across
+samples, bound working-set size, parallelise embarrassingly parallel
+sweeps with processes), this subpackage provides:
+
+- :mod:`~repro.parallel.batch` — memory-bounded chunked propagation of
+  large state batches through a network, with reusable workspaces;
+- :mod:`~repro.parallel.sweep` — a seeded multiprocessing executor for
+  parameter sweeps (layer counts, learning rates, noise levels), used by
+  the ablation experiments.
+"""
+
+from repro.parallel.batch import chunked_forward, ChunkedPipeline
+from repro.parallel.sweep import SweepResult, run_sweep, sweep_grid
+
+__all__ = [
+    "chunked_forward",
+    "ChunkedPipeline",
+    "SweepResult",
+    "run_sweep",
+    "sweep_grid",
+]

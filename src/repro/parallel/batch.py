@@ -1,0 +1,125 @@
+"""Memory-bounded batched state propagation.
+
+The network kernels are already vectorised across samples; for very large
+batches (the scaling benches push ``M`` into the tens of thousands) the
+``(N, M)`` working set should stay inside cache-friendly chunks and avoid
+repeated allocation.  :func:`chunked_forward` streams a batch through a
+network in column chunks, writing into a caller-owned output array;
+:class:`ChunkedPipeline` does the same for the full autoencoder pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import DimensionError
+from repro.network.autoencoder import QuantumAutoencoder
+from repro.network.quantum_network import QuantumNetwork
+
+__all__ = ["chunked_forward", "ChunkedPipeline"]
+
+
+def chunked_forward(
+    network: QuantumNetwork,
+    data: np.ndarray,
+    chunk_size: int = 4096,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Apply ``network`` to ``(N, M)`` data in column chunks.
+
+    Equivalent to ``network.forward(data)`` but with peak extra memory
+    bounded by one ``(N, chunk_size)`` buffer; results are written into
+    ``out`` when provided (must be ``(N, M)`` float64, may alias nothing).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.network import QuantumNetwork
+    >>> net = QuantumNetwork(4, 2).initialize("uniform", rng=np.random.default_rng(0))
+    >>> x = np.random.default_rng(1).normal(size=(4, 10))
+    >>> bool(np.allclose(chunked_forward(net, x, chunk_size=3), net.forward(x)))
+    True
+    """
+    if chunk_size < 1:
+        raise DimensionError(f"chunk_size must be >= 1, got {chunk_size}")
+    arr = np.asarray(data, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != network.dim:
+        raise DimensionError(
+            f"data must be (N={network.dim}, M), got shape {arr.shape}"
+        )
+    n, m = arr.shape
+    if out is None:
+        out = np.empty_like(arr)
+    elif out.shape != arr.shape:
+        raise DimensionError(
+            f"out shape {out.shape} != data shape {arr.shape}"
+        )
+    for start in range(0, m, chunk_size):
+        stop = min(start + chunk_size, m)
+        # Explicit copy: ascontiguousarray would alias the input when the
+        # chunk spans the whole (contiguous) batch, and forward_inplace
+        # must never mutate the caller's data.
+        block = np.array(arr[:, start:stop], order="C", copy=True)
+        network.forward_inplace(block)
+        out[:, start:stop] = block
+    return out
+
+
+class ChunkedPipeline:
+    """Streamed end-to-end autoencoding for batches too large for one pass.
+
+    Parameters
+    ----------
+    autoencoder:
+        A (typically trained) :class:`QuantumAutoencoder`.
+    chunk_size:
+        Samples processed per chunk.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.network import QuantumAutoencoder
+    >>> ae = QuantumAutoencoder(4, 2, 2, 2).initialize(rng=np.random.default_rng(0))
+    >>> X = np.abs(np.random.default_rng(1).normal(size=(100, 4))) + 0.1
+    >>> ChunkedPipeline(ae, chunk_size=16).reconstruct(X).shape
+    (100, 4)
+    """
+
+    def __init__(
+        self, autoencoder: QuantumAutoencoder, chunk_size: int = 1024
+    ) -> None:
+        if chunk_size < 1:
+            raise DimensionError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.autoencoder = autoencoder
+        self.chunk_size = int(chunk_size)
+
+    def reconstruct(self, X: np.ndarray) -> np.ndarray:
+        """Encode, compress, reconstruct and decode ``X`` chunk by chunk."""
+        mat = np.asarray(X, dtype=np.float64)
+        if mat.ndim != 2:
+            raise DimensionError(f"X must be (M, N), got shape {mat.shape}")
+        m = mat.shape[0]
+        out = np.empty_like(mat)
+        for start in range(0, m, self.chunk_size):
+            stop = min(start + self.chunk_size, m)
+            result = self.autoencoder.forward(mat[start:stop])
+            out[start:stop] = result.x_hat
+        return out
+
+    def compact_codes(self, X: np.ndarray) -> np.ndarray:
+        """Compressed ``(d, M)`` codes, streamed."""
+        mat = np.asarray(X, dtype=np.float64)
+        if mat.ndim != 2:
+            raise DimensionError(f"X must be (M, N), got shape {mat.shape}")
+        m = mat.shape[0]
+        d = self.autoencoder.compressed_dim
+        out = np.empty((d, m))
+        for start in range(0, m, self.chunk_size):
+            stop = min(start + self.chunk_size, m)
+            result = self.autoencoder.forward(mat[start:stop])
+            out[:, start:stop] = result.compact_codes
+        return out

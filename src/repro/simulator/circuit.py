@@ -1,0 +1,196 @@
+"""Gate sequences with batched application and unitary assembly.
+
+A :class:`Circuit` is an ordered list of gates acting on a fixed dimension.
+The paper composes its network layers from such sequences (Eq. 6); the
+reconstruction network connects the gates "in reverse order" of the
+compression network (Section II-C), which :meth:`Circuit.reversed_order`
+implements structurally (fresh parameters, reversed gate positions) while
+:meth:`Circuit.inverse` implements exactly (``U^{-1}``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import CircuitError
+from repro.simulator.gates import BeamsplitterGate, PhaseGate
+from repro.simulator.state import QuantumState, StateBatch
+
+__all__ = ["Circuit"]
+
+Gate = Union[BeamsplitterGate, PhaseGate]
+
+
+class Circuit:
+    """An ordered sequence of gates on ``dim`` modes.
+
+    Gates are applied left-to-right: ``apply`` computes
+    ``G_last ... G_2 G_1 |psi>`` for gates appended in order
+    ``G_1, G_2, ..., G_last`` (matrix product convention of Eq. 6).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> c = Circuit(4)
+    >>> _ = c.append(BeamsplitterGate(0, np.pi / 4))
+    >>> u = c.unitary()
+    >>> np.allclose(u @ u.T, np.eye(4))
+    True
+    """
+
+    def __init__(self, dim: int, gates: Iterable[Gate] = ()) -> None:
+        if not isinstance(dim, (int, np.integer)) or dim < 2:
+            raise CircuitError(f"dim must be an int >= 2, got {dim!r}")
+        self.dim = int(dim)
+        self._gates: List[Gate] = []
+        for g in gates:
+            self.append(g)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def append(self, gate: Gate) -> "Circuit":
+        """Append a gate, validating that it fits in this dimension."""
+        hi = gate.mode + (2 if isinstance(gate, BeamsplitterGate) else 1)
+        if hi > self.dim:
+            raise CircuitError(
+                f"gate on mode {gate.mode} does not fit in dimension {self.dim}"
+            )
+        self._gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        for g in gates:
+            self.append(g)
+        return self
+
+    @property
+    def gates(self) -> Sequence[Gate]:
+        return tuple(self._gates)
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def is_real(self) -> bool:
+        return all(g.is_real for g in self._gates)
+
+    def thetas(self) -> np.ndarray:
+        """Vector of ``theta`` parameters of the beamsplitter gates, in order."""
+        return np.array(
+            [g.theta for g in self._gates if isinstance(g, BeamsplitterGate)]
+        )
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        state: Union[QuantumState, StateBatch, np.ndarray],
+        inverse: bool = False,
+    ) -> Union[QuantumState, StateBatch, np.ndarray]:
+        """Apply the circuit (or its inverse) without mutating the input.
+
+        Accepts a :class:`QuantumState`, a :class:`StateBatch`, or a raw
+        ``(N,)`` / ``(N, M)`` array, returning the same type.
+        """
+        if isinstance(state, QuantumState):
+            if state.dim != self.dim:
+                raise CircuitError(
+                    f"state dim {state.dim} != circuit dim {self.dim}"
+                )
+            data = state.amplitudes.reshape(-1, 1).copy()
+            self.apply_inplace(data, inverse=inverse)
+            return QuantumState(data.ravel(), normalize=False)
+        if isinstance(state, StateBatch):
+            if state.dim != self.dim:
+                raise CircuitError(
+                    f"batch dim {state.dim} != circuit dim {self.dim}"
+                )
+            data = state.data.copy()
+            self.apply_inplace(data, inverse=inverse)
+            return StateBatch(data, normalize=False)
+        arr = np.asarray(state)
+        squeeze = arr.ndim == 1
+        data = np.array(arr.reshape(self.dim, -1), copy=True)
+        self.apply_inplace(data, inverse=inverse)
+        return data.ravel() if squeeze else data
+
+    def apply_inplace(self, data: np.ndarray, inverse: bool = False) -> None:
+        """Apply in place to an ``(N, M)`` array (hot path, no copies)."""
+        if data.shape[0] != self.dim:
+            raise CircuitError(
+                f"data dim {data.shape[0]} != circuit dim {self.dim}"
+            )
+        if not inverse:
+            for g in self._gates:
+                g.apply(data)
+        else:
+            for g in reversed(self._gates):
+                g.apply(data, inverse=True)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def unitary(self) -> np.ndarray:
+        """Assemble the full ``dim x dim`` matrix (column-by-column).
+
+        Cost ``O(num_gates * dim)`` per column; used for inspection, mesh
+        decomposition and tests — never in training hot paths.
+        """
+        dtype = np.float64 if self.is_real else np.complex128
+        u = np.eye(self.dim, dtype=dtype)
+        self.apply_inplace(u)
+        return u
+
+    def inverse(self) -> "Circuit":
+        """Exact inverse circuit ``U^{-1}`` (reversed order, inverted gates).
+
+        For complex gates with non-zero ``alpha`` the beamsplitter inverse is
+        not itself a single ``T(theta', alpha')``, so inversion is only
+        supported for real circuits; use ``apply(..., inverse=True)`` for
+        the general case.
+        """
+        inv = Circuit(self.dim)
+        for g in reversed(self._gates):
+            if isinstance(g, PhaseGate):
+                inv.append(PhaseGate(g.mode, -g.phi))
+            elif g.is_real:
+                inv.append(g.inverse())
+            else:
+                raise CircuitError(
+                    "cannot invert a complex beamsplitter gate into a single "
+                    "gate; apply with inverse=True instead"
+                )
+        return inv
+
+    def reversed_order(self) -> "Circuit":
+        """Structurally reversed circuit with the *same* parameters.
+
+        This realises the paper's prescription that the reconstruction
+        network's gates are "connected in reverse order" of the compression
+        network (Section III-B) — the parameters are then retrained, so only
+        the gate *positions* matter.
+        """
+        return Circuit(self.dim, list(reversed(self._gates)))
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """Circuit applying ``self`` first, then ``other``."""
+        if other.dim != self.dim:
+            raise CircuitError(
+                f"cannot compose circuits of dims {self.dim} and {other.dim}"
+            )
+        return Circuit(self.dim, list(self._gates) + list(other._gates))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self._gates)
+
+    def __repr__(self) -> str:
+        return f"Circuit(dim={self.dim}, num_gates={self.num_gates})"

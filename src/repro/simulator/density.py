@@ -1,0 +1,276 @@
+"""Density-matrix simulation (mixed states).
+
+The statevector simulator covers the paper's ideal experiments; physical
+effects the paper defers — photon loss, dephasing, calibration jitter
+averaged over devices — produce *mixed* states.  This module provides the
+minimal density-matrix substrate the hardware-realism analyses need:
+
+- :class:`DensityMatrix` — Hermitian, unit-trace, PSD state with
+  unitary/Kraus evolution, purity, fidelity and measurement;
+- standard single-system channels on mode amplitudes:
+  :func:`dephasing_channel`, :func:`depolarizing_channel`,
+  :func:`amplitude_damping_kraus` (per-mode photon loss).
+
+Conventions: operators act on the ``N``-dimensional mode space (the same
+space the amplitude encoding uses), not on tensor-factored qubits — this
+matches the paper's single-photon ``N``-mode picture where a state is one
+photon superposed over ``N`` optical modes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import DimensionError, NormalizationError
+from repro.simulator.state import QuantumState
+
+__all__ = [
+    "DensityMatrix",
+    "dephasing_channel",
+    "depolarizing_channel",
+    "amplitude_damping_kraus",
+]
+
+_ATOL = 1e-10
+
+
+class DensityMatrix:
+    """A mixed state ``rho`` on an ``N``-dimensional mode space.
+
+    Parameters
+    ----------
+    matrix:
+        ``(N, N)`` Hermitian PSD array with unit trace (validated).
+
+    Examples
+    --------
+    >>> rho = DensityMatrix.from_state(QuantumState([1.0, 0.0]))
+    >>> rho.purity()
+    1.0
+    >>> mixed = DensityMatrix.maximally_mixed(2)
+    >>> mixed.purity()
+    0.5
+    """
+
+    __slots__ = ("_rho",)
+
+    def __init__(self, matrix: np.ndarray, validate: bool = True) -> None:
+        rho = np.asarray(matrix, dtype=np.complex128)
+        if rho.ndim != 2 or rho.shape[0] != rho.shape[1]:
+            raise DimensionError(
+                f"density matrix must be square, got shape {rho.shape}"
+            )
+        if validate:
+            if not np.all(np.isfinite(rho)):
+                raise NormalizationError("density matrix contains NaN/Inf")
+            if np.max(np.abs(rho - rho.conj().T)) > 1e-8:
+                raise NormalizationError("density matrix is not Hermitian")
+            tr = float(np.real(np.trace(rho)))
+            if abs(tr - 1.0) > 1e-8:
+                raise NormalizationError(
+                    f"density matrix trace must be 1, got {tr:.6g}"
+                )
+            eigs = np.linalg.eigvalsh(rho)
+            if eigs.min() < -1e-8:
+                raise NormalizationError(
+                    f"density matrix has negative eigenvalue {eigs.min():.3g}"
+                )
+        self._rho = rho
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_state(cls, state: Union[QuantumState, np.ndarray]) -> "DensityMatrix":
+        """Pure-state density matrix ``|psi><psi|``."""
+        amps = (
+            state.amplitudes
+            if isinstance(state, QuantumState)
+            else np.asarray(state)
+        )
+        amps = amps / np.linalg.norm(amps)
+        return cls(np.outer(amps, np.conj(amps)), validate=False)
+
+    @classmethod
+    def maximally_mixed(cls, dim: int) -> "DensityMatrix":
+        if dim < 2:
+            raise DimensionError(f"dim must be >= 2, got {dim}")
+        return cls(np.eye(dim, dtype=np.complex128) / dim, validate=False)
+
+    @classmethod
+    def mixture(
+        cls,
+        states: Sequence[Union[QuantumState, np.ndarray]],
+        weights: Sequence[float],
+    ) -> "DensityMatrix":
+        """Convex mixture ``sum_i w_i |psi_i><psi_i|``."""
+        w = np.asarray(weights, dtype=np.float64)
+        if len(states) == 0 or len(states) != w.size:
+            raise DimensionError(
+                f"{len(states)} states with {w.size} weights"
+            )
+        if np.any(w < 0) or abs(w.sum() - 1.0) > 1e-8:
+            raise NormalizationError(
+                "mixture weights must be non-negative and sum to 1"
+            )
+        rho = sum(
+            wi * cls.from_state(s).matrix for wi, s in zip(w, states)
+        )
+        return cls(rho)
+
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self) -> np.ndarray:
+        view = self._rho.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def dim(self) -> int:
+        return self._rho.shape[0]
+
+    def purity(self) -> float:
+        """``Tr(rho^2)`` — 1 for pure states, ``1/N`` for maximally mixed."""
+        return float(np.real(np.trace(self._rho @ self._rho)))
+
+    def is_pure(self, atol: float = 1e-8) -> bool:
+        return self.purity() > 1.0 - atol
+
+    def probabilities(self) -> np.ndarray:
+        """Computational-basis measurement distribution (the diagonal)."""
+        return np.clip(np.real(np.diagonal(self._rho)), 0.0, None)
+
+    def fidelity_with_pure(
+        self, state: Union[QuantumState, np.ndarray]
+    ) -> float:
+        """``<psi|rho|psi>`` — fidelity against a pure reference."""
+        amps = (
+            state.amplitudes
+            if isinstance(state, QuantumState)
+            else np.asarray(state)
+        )
+        amps = amps / np.linalg.norm(amps)
+        if amps.size != self.dim:
+            raise DimensionError(
+                f"state dim {amps.size} != rho dim {self.dim}"
+            )
+        return float(np.real(np.conj(amps) @ self._rho @ amps))
+
+    def von_neumann_entropy(self) -> float:
+        """``-Tr(rho log2 rho)`` in bits."""
+        eigs = np.linalg.eigvalsh(self._rho)
+        eigs = eigs[eigs > 1e-12]
+        return float(-np.sum(eigs * np.log2(eigs)))
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+    def evolve(self, unitary: np.ndarray) -> "DensityMatrix":
+        """``U rho U^dagger``."""
+        u = np.asarray(unitary)
+        if u.shape != (self.dim, self.dim):
+            raise DimensionError(
+                f"unitary shape {u.shape} != ({self.dim}, {self.dim})"
+            )
+        return DensityMatrix(u @ self._rho @ np.conj(u.T), validate=False)
+
+    def apply_kraus(
+        self, kraus_operators: Iterable[np.ndarray], renormalize: bool = False
+    ) -> "DensityMatrix":
+        """CPTP (or trace-decreasing) map ``sum_k K rho K^dagger``.
+
+        ``renormalize=True`` divides by the resulting trace — the
+        post-selected state after a lossy (trace-decreasing) channel.
+        """
+        ops = [np.asarray(k, dtype=np.complex128) for k in kraus_operators]
+        if not ops:
+            raise DimensionError("need at least one Kraus operator")
+        for k in ops:
+            if k.shape != (self.dim, self.dim):
+                raise DimensionError(
+                    f"Kraus operator shape {k.shape} != "
+                    f"({self.dim}, {self.dim})"
+                )
+        out = np.zeros_like(self._rho)
+        for k in ops:
+            out += k @ self._rho @ np.conj(k.T)
+        tr = float(np.real(np.trace(out)))
+        if renormalize:
+            if tr < _ATOL:
+                raise NormalizationError(
+                    "channel annihilated the state; cannot renormalise"
+                )
+            out = out / tr
+            return DensityMatrix(out, validate=False)
+        if tr > 1.0 + 1e-8:
+            raise NormalizationError(
+                f"channel increased the trace to {tr:.6g}; Kraus operators "
+                "must satisfy sum K^dag K <= I"
+            )
+        return DensityMatrix(out, validate=False)
+
+    def __repr__(self) -> str:
+        return f"DensityMatrix(dim={self.dim}, purity={self.purity():.4f})"
+
+
+def dephasing_channel(dim: int, strength: float) -> List[np.ndarray]:
+    """Kraus operators for mode dephasing of strength ``p`` in [0, 1].
+
+    With probability ``p`` the state is measured in the computational
+    basis (off-diagonals are scaled by ``1 - p``): the channel that
+    destroys the interference the mesh relies on.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise DimensionError(f"strength must be in [0, 1], got {strength}")
+    if dim < 2:
+        raise DimensionError(f"dim must be >= 2, got {dim}")
+    ops = [np.sqrt(1.0 - strength) * np.eye(dim, dtype=np.complex128)]
+    for j in range(dim):
+        proj = np.zeros((dim, dim), dtype=np.complex128)
+        proj[j, j] = np.sqrt(strength)
+        ops.append(proj)
+    return ops
+
+
+def depolarizing_channel(dim: int, strength: float) -> List[np.ndarray]:
+    """Kraus set realising ``rho -> (1-p) rho + p I/N``.
+
+    Built from the identity plus the ``N^2`` generalized Pauli (shift x
+    clock) unitaries with uniform weights — exact for any ``N``.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise DimensionError(f"strength must be in [0, 1], got {strength}")
+    if dim < 2:
+        raise DimensionError(f"dim must be >= 2, got {dim}")
+    shift = np.roll(np.eye(dim), 1, axis=0).astype(np.complex128)
+    clock = np.diag(np.exp(2j * np.pi * np.arange(dim) / dim))
+    ops: List[np.ndarray] = []
+    for a in range(dim):
+        for b in range(dim):
+            u = np.linalg.matrix_power(shift, a) @ np.linalg.matrix_power(
+                clock, b
+            )
+            weight = strength / (dim * dim)
+            if a == 0 and b == 0:
+                weight += 1.0 - strength
+            ops.append(np.sqrt(weight) * u)
+    return ops
+
+
+def amplitude_damping_kraus(
+    dim: int, mode: int, gamma: float
+) -> List[np.ndarray]:
+    """Photon loss on one mode: amplitude in ``mode`` decays with rate
+    ``gamma``; the lost population is *not* re-injected (trace decreases),
+    modelling a detector that simply never clicks — renormalise to model
+    post-selection.
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise DimensionError(f"gamma must be in [0, 1], got {gamma}")
+    if not 0 <= mode < dim:
+        raise DimensionError(f"mode {mode} out of range for dim {dim}")
+    keep = np.eye(dim, dtype=np.complex128)
+    keep[mode, mode] = np.sqrt(1.0 - gamma)
+    return [keep]

@@ -1,0 +1,148 @@
+"""Measurement of output states.
+
+The paper obtains the probability amplitudes of the compression/
+reconstruction outputs "by measuring the state" (Eqs. 2-4).  In the exact
+simulation this is simply reading off Born probabilities; on hardware it
+would be a finite number of projective measurements in the computational
+basis.  Both are provided:
+
+- :func:`born_probabilities` — exact ``|amplitude|^2``;
+- :func:`sample_counts` / :func:`estimate_probabilities` — multinomial
+  finite-shot sampling, the hardware-realism model used by the shot-noise
+  ablation benches;
+- :func:`measurement_expectation` — expectation of a diagonal observable.
+
+Note on signs: measurement yields ``|B_j|^2``, so the decoded classical data
+of Eq. (2) uses ``sqrt(|B_j|^2 * sum x^2) = |B_j| * sqrt(sum x^2)``.  Sign
+information is lost, which is harmless for the paper's non-negative pixel
+data; the exact-simulation code paths keep signed amplitudes available for
+loss computation (the losses of Eq. 5 are on amplitudes, evaluated in
+simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+from repro.simulator.state import QuantumState, StateBatch
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "born_probabilities",
+    "sample_counts",
+    "estimate_probabilities",
+    "estimate_amplitudes",
+    "measurement_expectation",
+]
+
+StateLike = Union[QuantumState, StateBatch, np.ndarray]
+
+
+def _amplitudes_matrix(state: StateLike) -> np.ndarray:
+    """Return an ``(N, M)`` amplitude matrix view of any accepted input."""
+    if isinstance(state, QuantumState):
+        return state.amplitudes.reshape(-1, 1)
+    if isinstance(state, StateBatch):
+        return state.data
+    arr = np.asarray(state)
+    if arr.ndim == 1:
+        return arr.reshape(-1, 1)
+    if arr.ndim == 2:
+        return arr
+    raise MeasurementError(f"cannot measure array of shape {arr.shape}")
+
+
+def born_probabilities(state: StateLike) -> np.ndarray:
+    """Exact Born probabilities ``|A_j|^2`` per state.
+
+    Returns ``(N,)`` for a single state, ``(N, M)`` for a batch.
+    """
+    amps = _amplitudes_matrix(state)
+    probs = np.abs(amps) ** 2
+    if isinstance(state, QuantumState) or (
+        isinstance(state, np.ndarray) and state.ndim == 1
+    ):
+        return probs.ravel()
+    return probs
+
+
+def sample_counts(
+    state: StateLike,
+    shots: int,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sample computational-basis measurement counts (multinomial).
+
+    Returns an integer array of the same shape as
+    :func:`born_probabilities`, with each column summing to ``shots``.
+    """
+    if not isinstance(shots, (int, np.integer)) or shots <= 0:
+        raise MeasurementError(f"shots must be a positive int, got {shots!r}")
+    gen = ensure_rng(rng)
+    probs = born_probabilities(state)
+    single = probs.ndim == 1
+    mat = probs.reshape(probs.shape[0], -1) if single else probs
+    # Guard against tiny negative / >1 rounding before multinomial sampling.
+    cols = []
+    for m in range(mat.shape[1]):
+        p = np.clip(mat[:, m], 0.0, None)
+        total = p.sum()
+        if total <= 0:
+            raise MeasurementError("state has zero total probability")
+        cols.append(gen.multinomial(int(shots), p / total))
+    counts = np.stack(cols, axis=1)
+    return counts.ravel() if single else counts
+
+
+def estimate_probabilities(
+    state: StateLike,
+    shots: Optional[int],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Estimated probabilities from ``shots`` measurements.
+
+    ``shots=None`` returns the exact Born probabilities — the paper's
+    (infinite-shot, simulator) regime.
+    """
+    if shots is None:
+        return born_probabilities(state)
+    return sample_counts(state, shots, rng=rng) / float(shots)
+
+
+def estimate_amplitudes(
+    state: StateLike,
+    shots: Optional[int],
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Magnitude-only amplitude estimates ``sqrt(p_hat)``.
+
+    This is what a hardware run of the paper's pipeline would feed into the
+    decoding map of Eq. (2).  Signs are unrecoverable from projective
+    counts; see the module docstring.
+    """
+    return np.sqrt(estimate_probabilities(state, shots, rng=rng))
+
+
+def measurement_expectation(
+    state: StateLike, observable_diagonal: np.ndarray
+) -> Union[float, np.ndarray]:
+    """Expectation value of a diagonal observable ``sum_j o_j |A_j|^2``.
+
+    Returns a scalar for a single state, an ``(M,)`` vector for a batch.
+    """
+    diag = np.asarray(observable_diagonal, dtype=np.float64).ravel()
+    probs = born_probabilities(state)
+    if probs.ndim == 1:
+        if diag.size != probs.size:
+            raise MeasurementError(
+                f"observable size {diag.size} != state dim {probs.size}"
+            )
+        return float(diag @ probs)
+    if diag.size != probs.shape[0]:
+        raise MeasurementError(
+            f"observable size {diag.size} != state dim {probs.shape[0]}"
+        )
+    return diag @ probs

@@ -1,0 +1,286 @@
+"""Quantum state containers.
+
+Two containers are provided:
+
+- :class:`QuantumState` — a single ``N``-dimensional amplitude vector
+  ``|psi> = sum_j A_j |j>`` (Section II-A of the paper);
+- :class:`StateBatch` — ``M`` states stored as the *columns* of an
+  ``(N, M)`` array.  The network's hot loop applies each two-mode gate to
+  rows ``(k, k+1)`` of this matrix, which keeps per-gate work on two
+  contiguous rows (cache-friendly, vectorised across samples) as recommended
+  by the HPC guides.
+
+The paper's network is real-valued (``alpha = 0``), so float64 is the
+default dtype; complex128 is supported throughout for the "fully complex
+network" extension discussed in Section V.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+from repro.exceptions import DimensionError, NormalizationError
+from repro.utils.validation import num_qubits_for
+
+__all__ = ["QuantumState", "StateBatch"]
+
+_ATOL = 1e-10
+
+
+def _coerce(vec: np.ndarray | list, dtype: Optional[np.dtype]) -> np.ndarray:
+    arr = np.asarray(vec)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    elif not np.issubdtype(arr.dtype, np.complexfloating):
+        arr = arr.astype(np.float64, copy=False)
+    if not np.all(np.isfinite(arr)):
+        raise NormalizationError("state amplitudes contain NaN or Inf")
+    return np.ascontiguousarray(arr)
+
+
+class QuantumState:
+    """A pure state as a 1-D amplitude vector.
+
+    Parameters
+    ----------
+    amplitudes:
+        Length-``N`` array of (real or complex) amplitudes.
+    normalize:
+        If True (default) the vector is scaled to unit norm; an all-zero
+        vector raises :class:`~repro.exceptions.NormalizationError`.
+    dtype:
+        Optional dtype override (float64 or complex128).
+
+    Examples
+    --------
+    >>> s = QuantumState([1.0, 1.0, 1.0, 1.0])
+    >>> s.probabilities().tolist()
+    [0.25, 0.25, 0.25, 0.25]
+    >>> s.num_qubits
+    2
+    """
+
+    __slots__ = ("_amps",)
+
+    def __init__(
+        self,
+        amplitudes: np.ndarray | list,
+        normalize: bool = True,
+        dtype: Optional[np.dtype] = None,
+    ) -> None:
+        arr = _coerce(amplitudes, dtype)
+        if arr.ndim != 1:
+            raise DimensionError(
+                f"amplitudes must be 1-D, got shape {arr.shape}"
+            )
+        if arr.size < 2:
+            raise DimensionError("a state needs at least 2 amplitudes")
+        if normalize:
+            norm = float(np.linalg.norm(arr))
+            if norm < _ATOL:
+                raise NormalizationError(
+                    "cannot normalise an (almost) all-zero amplitude vector"
+                )
+            arr = arr / norm
+        self._amps = arr
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def amplitudes(self) -> np.ndarray:
+        """The amplitude vector (read-only view)."""
+        view = self._amps.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def dim(self) -> int:
+        return self._amps.size
+
+    @property
+    def num_qubits(self) -> int:
+        """Qubits needed to hold this state (``ceil(log2 N)``, Eq. 1 text)."""
+        return num_qubits_for(self.dim)
+
+    @property
+    def is_real(self) -> bool:
+        return not np.issubdtype(self._amps.dtype, np.complexfloating)
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._amps))
+
+    # ------------------------------------------------------------------
+    # quantum-information quantities
+    # ------------------------------------------------------------------
+    def probabilities(self) -> np.ndarray:
+        """Born-rule probabilities ``|A_j|^2``."""
+        return np.abs(self._amps) ** 2
+
+    def fidelity(self, other: "QuantumState") -> float:
+        """State fidelity ``|<self|other>|^2`` in ``[0, 1]``."""
+        if other.dim != self.dim:
+            raise DimensionError(
+                f"fidelity requires equal dims, got {self.dim} vs {other.dim}"
+            )
+        overlap = np.vdot(self._amps, other._amps)
+        return float(min(abs(overlap) ** 2, 1.0))
+
+    def overlap(self, other: "QuantumState") -> complex:
+        """Inner product ``<self|other>``."""
+        if other.dim != self.dim:
+            raise DimensionError(
+                f"overlap requires equal dims, got {self.dim} vs {other.dim}"
+            )
+        return complex(np.vdot(self._amps, other._amps))
+
+    def tensor(self, other: "QuantumState") -> "QuantumState":
+        """Tensor product ``|self> (x) |other>``."""
+        return QuantumState(
+            np.kron(self._amps, other._amps), normalize=False
+        )
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_batch(self) -> "StateBatch":
+        return StateBatch(self._amps.reshape(-1, 1).copy(), normalize=False)
+
+    def copy(self) -> "QuantumState":
+        return QuantumState(self._amps.copy(), normalize=False)
+
+    @classmethod
+    def basis(cls, dim: int, index: int) -> "QuantumState":
+        """Computational basis state ``|index>`` in ``dim`` dimensions."""
+        if not 0 <= index < dim:
+            raise DimensionError(
+                f"basis index {index} out of range for dim {dim}"
+            )
+        amps = np.zeros(dim)
+        amps[index] = 1.0
+        return cls(amps, normalize=False)
+
+    @classmethod
+    def uniform(cls, dim: int) -> "QuantumState":
+        """The uniform superposition ``H^{(x)n}|0>`` analogue."""
+        return cls(np.full(dim, 1.0 / np.sqrt(dim)), normalize=False)
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.dim
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantumState):
+            return NotImplemented
+        return self.dim == other.dim and bool(
+            np.allclose(self._amps, other._amps, atol=1e-12)
+        )
+
+    def __hash__(self) -> int:  # states are mutable-free but arrays unhashable
+        return id(self)
+
+    def __repr__(self) -> str:
+        kind = "real" if self.is_real else "complex"
+        return f"QuantumState(dim={self.dim}, {kind})"
+
+
+class StateBatch:
+    """``M`` pure states stored column-wise in an ``(N, M)`` array.
+
+    This is the workhorse container: all network forward/backward kernels
+    operate in-place on ``StateBatch.data``.  Constructing a batch from
+    row-wise classical data (the paper's ``M x N`` image matrix) is the job
+    of :func:`repro.encoding.amplitude.encode_batch`.
+
+    Parameters
+    ----------
+    data:
+        ``(N, M)`` array, one state per column.
+    normalize:
+        If True, each column is scaled to unit norm (zero columns raise).
+    """
+
+    __slots__ = ("data",)
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        normalize: bool = False,
+        dtype: Optional[np.dtype] = None,
+    ) -> None:
+        arr = _coerce(data, dtype)
+        if arr.ndim != 2:
+            raise DimensionError(f"batch must be 2-D, got shape {arr.shape}")
+        if arr.shape[0] < 2:
+            raise DimensionError("state dimension must be at least 2")
+        if normalize:
+            norms = np.linalg.norm(arr, axis=0)
+            if np.any(norms < _ATOL):
+                bad = int(np.argmin(norms))
+                raise NormalizationError(
+                    f"column {bad} is (almost) all-zero and cannot be normalised"
+                )
+            arr = arr / norms
+        self.data = np.ascontiguousarray(arr)
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.data.shape[0]
+
+    @property
+    def num_states(self) -> int:
+        return self.data.shape[1]
+
+    @property
+    def is_real(self) -> bool:
+        return not np.issubdtype(self.data.dtype, np.complexfloating)
+
+    def norms(self) -> np.ndarray:
+        """Per-column norms (should all be 1 for physical states)."""
+        return np.linalg.norm(self.data, axis=0)
+
+    def probabilities(self) -> np.ndarray:
+        """``(N, M)`` matrix of Born probabilities per state."""
+        return np.abs(self.data) ** 2
+
+    def state(self, i: int) -> QuantumState:
+        """Extract column ``i`` as a :class:`QuantumState` (copy)."""
+        if not 0 <= i < self.num_states:
+            raise DimensionError(
+                f"state index {i} out of range for batch of {self.num_states}"
+            )
+        return QuantumState(self.data[:, i].copy(), normalize=False)
+
+    def fidelities(self, other: "StateBatch") -> np.ndarray:
+        """Column-wise fidelities ``|<self_i|other_i>|^2``."""
+        if other.data.shape != self.data.shape:
+            raise DimensionError(
+                f"shape mismatch {self.data.shape} vs {other.data.shape}"
+            )
+        overlaps = np.einsum("nm,nm->m", np.conj(self.data), other.data)
+        return np.minimum(np.abs(overlaps) ** 2, 1.0)
+
+    def copy(self) -> "StateBatch":
+        return StateBatch(self.data.copy(), normalize=False)
+
+    @classmethod
+    def from_states(cls, states: Iterable[QuantumState]) -> "StateBatch":
+        cols = [s.amplitudes for s in states]
+        if not cols:
+            raise DimensionError("cannot build a batch from zero states")
+        return cls(np.stack(cols, axis=1), normalize=False)
+
+    def __len__(self) -> int:
+        return self.num_states
+
+    def __iter__(self):
+        return (self.state(i) for i in range(self.num_states))
+
+    def __repr__(self) -> str:
+        kind = "real" if self.is_real else "complex"
+        return f"StateBatch(dim={self.dim}, num_states={self.num_states}, {kind})"

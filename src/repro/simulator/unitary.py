@@ -1,0 +1,104 @@
+"""Random unitaries and unitarity diagnostics.
+
+Used by the optics mesh decomposition tests (a Haar-random unitary must
+round-trip through the Clements factorisation), by network initialisation
+research hooks, and by property-based tests asserting that every network
+layer is exactly orthogonal/unitary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import DimensionError
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "haar_random_unitary",
+    "random_orthogonal",
+    "is_unitary",
+    "is_orthogonal",
+    "closest_unitary",
+    "unitarity_defect",
+]
+
+
+def haar_random_unitary(
+    dim: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Haar-distributed ``dim x dim`` unitary via QR of a Ginibre matrix.
+
+    The R-phase correction (Mezzadri 2007) makes the distribution exactly
+    Haar rather than merely unitary.
+    """
+    if dim < 1:
+        raise DimensionError(f"dim must be >= 1, got {dim}")
+    gen = ensure_rng(rng)
+    z = gen.standard_normal((dim, dim)) + 1j * gen.standard_normal((dim, dim))
+    q, r = np.linalg.qr(z)
+    d = np.diagonal(r)
+    q = q * (d / np.abs(d))
+    return q
+
+
+def random_orthogonal(
+    dim: int,
+    rng: Optional[np.random.Generator] = None,
+    special: bool = False,
+) -> np.ndarray:
+    """Haar-distributed real orthogonal matrix; ``special=True`` forces det=+1.
+
+    The paper's real network (``alpha = 0``) spans (a subgroup of) SO(N)
+    when the layer count is sufficient, so orthogonal targets are the right
+    reference ensemble for expressivity tests.
+    """
+    if dim < 1:
+        raise DimensionError(f"dim must be >= 1, got {dim}")
+    gen = ensure_rng(rng)
+    z = gen.standard_normal((dim, dim))
+    q, r = np.linalg.qr(z)
+    d = np.diagonal(r)
+    q = q * np.sign(d)
+    if special and np.linalg.det(q) < 0:
+        q[:, 0] = -q[:, 0]
+    return q
+
+
+def unitarity_defect(u: np.ndarray) -> float:
+    """``max |U^dagger U - I|`` — 0 for an exact unitary."""
+    u = np.asarray(u)
+    if u.ndim != 2 or u.shape[0] != u.shape[1]:
+        raise DimensionError(f"expected a square matrix, got shape {u.shape}")
+    eye = np.eye(u.shape[0])
+    return float(np.max(np.abs(np.conj(u.T) @ u - eye)))
+
+
+def is_unitary(u: np.ndarray, atol: float = 1e-10) -> bool:
+    """Whether ``u`` is unitary to absolute tolerance ``atol``."""
+    return unitarity_defect(u) <= atol
+
+
+def is_orthogonal(u: np.ndarray, atol: float = 1e-10) -> bool:
+    """Whether ``u`` is a *real* orthogonal matrix."""
+    u = np.asarray(u)
+    if np.issubdtype(u.dtype, np.complexfloating):
+        if np.max(np.abs(u.imag)) > atol:
+            return False
+        u = u.real
+    return is_unitary(u, atol=atol)
+
+
+def closest_unitary(a: np.ndarray) -> np.ndarray:
+    """Polar projection: the unitary closest to ``a`` in Frobenius norm.
+
+    Useful for re-unitarising matrices drifted by accumulated float error
+    (e.g. after thousands of in-place gate applications in long sweeps).
+    """
+    a = np.asarray(a)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise DimensionError(f"expected a square matrix, got shape {a.shape}")
+    u, _ = scipy.linalg.polar(a)
+    return u

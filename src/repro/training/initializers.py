@@ -1,0 +1,120 @@
+"""Parameter initialisation strategies.
+
+The paper notes that "theta can be initialized randomly or uniformly.
+Different initialization methods will bring different training effects"
+(Section III-C).  Each initializer is a callable
+``(num_params, rng=..., **kwargs) -> np.ndarray`` registered by name; the
+architecture ablation bench compares them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.utils.rng import ensure_rng
+
+__all__ = ["get_initializer", "available_initializers", "register_initializer"]
+
+TWO_PI = 2.0 * math.pi
+
+Initializer = Callable[..., np.ndarray]
+
+_REGISTRY: Dict[str, Initializer] = {}
+
+
+def register_initializer(name: str) -> Callable[[Initializer], Initializer]:
+    """Decorator adding an initializer to the registry under ``name``."""
+
+    def deco(fn: Initializer) -> Initializer:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise TrainingError(f"initializer {name!r} already registered")
+        _REGISTRY[key] = fn
+        return fn
+
+    return deco
+
+
+def get_initializer(name: str) -> Initializer:
+    """Look up an initializer by name (case-insensitive)."""
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise TrainingError(
+            f"unknown initializer {name!r}; available: "
+            f"{sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]
+
+
+def available_initializers() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+@register_initializer("uniform")
+def uniform(
+    num_params: int,
+    rng: Optional[np.random.Generator] = None,
+    low: float = 0.0,
+    high: float = TWO_PI,
+) -> np.ndarray:
+    """i.i.d. uniform angles on ``[low, high)`` — the paper's random init.
+
+    Fig. 4g shows trained parameters stabilising within ``[0, 2*pi]``, the
+    same interval used here by default.
+    """
+    if high <= low:
+        raise TrainingError(f"require high > low, got [{low}, {high})")
+    return ensure_rng(rng).uniform(low, high, size=num_params)
+
+
+@register_initializer("zeros")
+def zeros(
+    num_params: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """All-zero angles: the network starts as the exact identity."""
+    return np.zeros(num_params)
+
+
+@register_initializer("constant")
+def constant(
+    num_params: int,
+    rng: Optional[np.random.Generator] = None,
+    value: float = math.pi / 4,
+) -> np.ndarray:
+    """Every angle set to the same value (default: balanced 50/50 splitter)."""
+    if not math.isfinite(value):
+        raise TrainingError("constant initializer value must be finite")
+    return np.full(num_params, float(value))
+
+
+@register_initializer("small")
+def small(
+    num_params: int,
+    rng: Optional[np.random.Generator] = None,
+    scale: float = 0.1,
+) -> np.ndarray:
+    """Small zero-mean Gaussian angles — a near-identity warm start.
+
+    Useful when the identity is already a decent map (e.g. data already
+    concentrated on the kept subspace); avoids the barren-plateau-like flat
+    regions that large random angles can induce in deep meshes.
+    """
+    if scale <= 0:
+        raise TrainingError(f"scale must be positive, got {scale}")
+    return ensure_rng(rng).normal(0.0, scale, size=num_params)
+
+
+@register_initializer("perturbed-identity")
+def perturbed_identity(
+    num_params: int,
+    rng: Optional[np.random.Generator] = None,
+    scale: float = 1e-3,
+) -> np.ndarray:
+    """Identity plus a tiny symmetric-breaking perturbation."""
+    if scale <= 0:
+        raise TrainingError(f"scale must be positive, got {scale}")
+    return ensure_rng(rng).uniform(-scale, scale, size=num_params)

@@ -1,0 +1,146 @@
+"""Terminal rendering of the paper's figures.
+
+The benchmark harness regenerates every figure of the paper as terminal
+output: images become character rasters, loss/accuracy curves become ASCII
+line plots, and Table I becomes an aligned text table.  Keeping rendering
+dependency-free (no matplotlib in the offline environment) makes the
+reproduction runnable anywhere pytest runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["render_image_ascii", "render_curve_ascii", "render_table"]
+
+# Dark -> light ramp used for grayscale rendering; binary images only use
+# the two endpoints.
+_RAMP = " .:-=+*#%@"
+
+
+def render_image_ascii(
+    image: np.ndarray,
+    charset: str = _RAMP,
+    vmin: float = 0.0,
+    vmax: float = 1.0,
+) -> str:
+    """Render a 2-D grayscale image (values in ``[vmin, vmax]``) as text.
+
+    Each pixel becomes two characters wide so the raster is roughly square
+    in a terminal font.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> print(render_image_ascii(np.eye(2)))
+    @@
+      @@
+    """
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"image must be 2-D, got shape {arr.shape}")
+    if vmax <= vmin:
+        raise ValueError("vmax must be larger than vmin")
+    levels = len(charset) - 1
+    scaled = np.clip((arr - vmin) / (vmax - vmin), 0.0, 1.0)
+    idx = np.rint(scaled * levels).astype(int)
+    rows = ["".join(charset[i] * 2 for i in row) for row in idx]
+    return "\n".join(r.rstrip() for r in rows)
+
+
+def render_curve_ascii(
+    ys: Sequence[float] | np.ndarray,
+    width: int = 72,
+    height: int = 16,
+    title: str = "",
+    ylabel_format: str = "{:.4g}",
+    logy: bool = False,
+) -> str:
+    """Render a 1-D series as an ASCII line plot.
+
+    Parameters
+    ----------
+    ys:
+        The series (e.g. per-iteration training loss).
+    width, height:
+        Plot canvas size in characters (excluding the axis gutter).
+    logy:
+        Plot ``log10(y)``; non-positive values are clipped to the smallest
+        positive element (useful for loss curves approaching zero).
+    """
+    y = np.asarray(ys, dtype=np.float64).ravel()
+    if y.size == 0:
+        raise ValueError("cannot plot an empty series")
+    if logy:
+        positive = y[y > 0]
+        floor = positive.min() if positive.size else 1e-12
+        y = np.log10(np.clip(y, floor, None))
+    lo, hi = float(y.min()), float(y.max())
+    if hi - lo < 1e-15:
+        hi = lo + 1.0
+    # Resample the series onto the canvas width.
+    xs = np.linspace(0, y.size - 1, width)
+    resampled = np.interp(xs, np.arange(y.size), y)
+    rows_idx = np.rint((resampled - lo) / (hi - lo) * (height - 1)).astype(int)
+    canvas = [[" "] * width for _ in range(height)]
+    for col, r in enumerate(rows_idx):
+        canvas[height - 1 - r][col] = "*"
+    top_label = ylabel_format.format(hi if not logy else 10**hi)
+    bot_label = ylabel_format.format(lo if not logy else 10**lo)
+    gutter = max(len(top_label), len(bot_label)) + 1
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = top_label.rjust(gutter - 1)
+        elif i == height - 1:
+            label = bot_label.rjust(gutter - 1)
+        else:
+            label = " " * (gutter - 1)
+        lines.append(f"{label}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * (width - 1))
+    lines.append(
+        " " * gutter + f"0{'iterations'.center(width - 10)}{y.size - 1}"
+    )
+    return "\n".join(lines)
+
+
+def render_table(
+    rows: Iterable[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render a list of dict rows as an aligned text table (Table I style).
+
+    Examples
+    --------
+    >>> print(render_table([{"Method": "QN", "Accuracy": "97.75%"}]))
+    Method | Accuracy
+    ------ | --------
+    QN     | 97.75%
+    """
+    rows = list(rows)
+    if not rows:
+        raise ValueError("cannot render an empty table")
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {c: len(c) for c in columns}
+    str_rows = []
+    for row in rows:
+        s = {c: str(row.get(c, "")) for c in columns}
+        str_rows.append(s)
+        for c in columns:
+            widths[c] = max(widths[c], len(s[c]))
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    sep = " | ".join("-" * widths[c] for c in columns)
+    body = [
+        " | ".join(r[c].ljust(widths[c]) for c in columns).rstrip()
+        for r in str_rows
+    ]
+    out = [header.rstrip(), sep] + body
+    if title:
+        out.insert(0, title)
+    return "\n".join(out)

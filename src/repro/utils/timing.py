@@ -1,0 +1,85 @@
+"""Lightweight wall-clock / CPU-time instrumentation.
+
+Table I of the paper reports "CPU Runs" (training wall time in seconds) for
+the quantum-network and CSC algorithms; :class:`Stopwatch` is the single
+timing primitive used by both training loops so the comparison is symmetric.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+__all__ = ["Stopwatch", "timed"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch measuring both wall and CPU (process) time.
+
+    Examples
+    --------
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.wall_seconds >= 0.0
+    True
+    """
+
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+    laps: int = 0
+    _wall_start: float = field(default=0.0, repr=False)
+    _cpu_start: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._running:
+            raise RuntimeError("Stopwatch already running")
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.process_time()
+        self._running = True
+        return self
+
+    def stop(self) -> float:
+        """Stop and return the wall-time of the lap just finished."""
+        if not self._running:
+            raise RuntimeError("Stopwatch is not running")
+        lap_wall = time.perf_counter() - self._wall_start
+        lap_cpu = time.process_time() - self._cpu_start
+        self.wall_seconds += lap_wall
+        self.cpu_seconds += lap_cpu
+        self.laps += 1
+        self._running = False
+        return lap_wall
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def reset(self) -> None:
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        self.laps = 0
+        self._running = False
+
+
+@contextmanager
+def timed(label: str, sink: Callable[[str], None] = print) -> Iterator[Stopwatch]:
+    """Context manager printing ``label: <seconds>s`` when the block exits.
+
+    ``sink`` may be replaced (e.g. with a logger method or a no-op) to keep
+    library code silent in tests.
+    """
+    sw = Stopwatch().start()
+    try:
+        yield sw
+    finally:
+        sw.stop()
+        sink(f"{label}: {sw.wall_seconds:.3f}s wall / {sw.cpu_seconds:.3f}s cpu")

@@ -1,0 +1,84 @@
+"""Tests for repro.analysis.compressibility."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compressibility import (
+    accuracy_ceiling,
+    compressibility_report,
+)
+from repro.data import paper_dataset, random_binary_dataset
+from repro.exceptions import DimensionError
+
+
+class TestAccuracyCeiling:
+    def test_rank4_data_perfect_at_d4(self, paper_images):
+        out = accuracy_ceiling(paper_images, d=4)
+        assert out["accuracy_ceiling_pct"] == pytest.approx(100.0)
+        assert out["retained_energy"] == pytest.approx(1.0)
+        assert out["residual_loss_floor"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_below_rank_is_lossy(self, paper_images):
+        out = accuracy_ceiling(paper_images, d=2)
+        assert out["accuracy_ceiling_pct"] < 100.0
+        assert out["retained_energy"] < 1.0
+        assert out["residual_loss_floor"] > 0.0
+
+    def test_full_budget_always_perfect(self, paper_images):
+        out = accuracy_ceiling(paper_images, d=16)
+        assert out["accuracy_ceiling_pct"] == pytest.approx(100.0)
+
+    def test_ceiling_bounds_trained_network(self, paper_images):
+        """A trained network can never beat the ceiling."""
+        from repro import QuantumAutoencoder, Trainer, paper_accuracy
+        from repro.network.targets import TruncatedInputTarget
+        from repro.training.optimizers import Adam
+
+        ceiling = accuracy_ceiling(paper_images, d=4)["accuracy_ceiling_pct"]
+        ae = QuantumAutoencoder(16, 4, 8, 10).initialize(
+            "uniform", rng=np.random.default_rng(0)
+        )
+        Trainer(
+            iterations=60,
+            optimizer_factory=lambda: Adam(0.05),
+            record_theta_every=None,
+        ).train(
+            ae,
+            paper_images,
+            target_strategy=TruncatedInputTarget.from_pca(
+                ae.projection, paper_images
+            ),
+        )
+        measured = paper_accuracy(ae.forward(paper_images).x_hat, paper_images)
+        assert measured <= ceiling + 1e-9
+
+    def test_validation(self, paper_images):
+        with pytest.raises(DimensionError):
+            accuracy_ceiling(paper_images, d=0)
+        with pytest.raises(DimensionError):
+            accuracy_ceiling(paper_images, d=17)
+        with pytest.raises(DimensionError):
+            accuracy_ceiling(np.ones(4), d=1)
+
+
+class TestReport:
+    def test_monotone_energy(self, paper_images):
+        records = compressibility_report(paper_images, max_d=8)
+        energies = [r["retained_energy"] for r in records]
+        assert energies == sorted(energies)
+
+    def test_knee_at_rank(self, paper_images):
+        records = compressibility_report(paper_images, max_d=6)
+        by_d = {r["d"]: r for r in records}
+        assert by_d[4]["retained_energy"] == pytest.approx(1.0)
+        assert by_d[3]["retained_energy"] < 1.0
+
+    def test_random_data_has_no_sharp_knee(self):
+        X = random_binary_dataset(30, image_size=4, seed=0).matrix()
+        records = compressibility_report(X, max_d=16)
+        # Full-rank data keeps gaining energy all the way out.
+        assert records[3]["retained_energy"] < 0.99
+
+    def test_invalid_max_d(self, paper_images):
+        with pytest.raises(DimensionError):
+            compressibility_report(paper_images, max_d=0)

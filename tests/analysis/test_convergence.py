@@ -1,0 +1,99 @@
+"""Tests for repro.analysis.convergence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    budget_study,
+    loss_half_life,
+    plateau_iteration,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestHalfLife:
+    def test_exact_exponential(self):
+        curve = [2.0 ** (-t) for t in range(30)]
+        assert loss_half_life(curve, floor=0.0) == pytest.approx(1.0)
+
+    def test_slower_decay_longer_half_life(self):
+        fast = [2.0 ** (-t) for t in range(20)]
+        slow = [2.0 ** (-t / 4) for t in range(20)]
+        assert loss_half_life(slow, floor=0.0) > loss_half_life(
+            fast, floor=0.0
+        )
+
+    def test_non_decreasing_is_infinite(self):
+        assert loss_half_life([1.0, 1.0, 1.0, 1.1]) == float("inf")
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ExperimentError):
+            loss_half_life([1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(ExperimentError):
+            loss_half_life([1.0, np.nan])
+
+
+class TestPlateau:
+    def test_step_curve(self):
+        curve = [10.0] * 3 + [1.0] * 20
+        p = plateau_iteration(curve, rel_tol=0.05, window=5)
+        assert 2 <= p <= 4
+
+    def test_constant_curve_plateaus_immediately(self):
+        assert plateau_iteration([5.0] * 10) == 0
+
+    def test_never_plateaus_returns_last(self):
+        curve = list(np.linspace(10, 0, 20))
+        p = plateau_iteration(curve, rel_tol=0.01, window=3)
+        assert p >= 15
+
+    def test_real_training_curve(self):
+        """Plateau detection on an actual Fig.-4-style curve."""
+        from repro.experiments.config import PaperConfig
+        from repro.experiments.fig4 import run_fig4
+
+        result = run_fig4(PaperConfig(iterations=60))
+        p = plateau_iteration(result.history.loss_r)
+        assert 0 < p < 60
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            plateau_iteration([1.0, 0.5], rel_tol=0.0)
+        with pytest.raises(ExperimentError):
+            plateau_iteration([1.0, 0.5], window=0)
+
+
+class TestBudgetStudy:
+    def test_records_per_budget(self):
+        from repro.experiments.config import PaperConfig
+
+        records = budget_study(
+            budgets=(5, 10),
+            config=PaperConfig(
+                compression_layers=4, reconstruction_layers=4
+            ),
+        )
+        assert [r["iterations"] for r in records] == [5, 10]
+        assert all("max_accuracy_pct" in r for r in records)
+
+    def test_longer_budget_not_worse_loss(self):
+        from repro.experiments.config import PaperConfig
+
+        records = budget_study(
+            budgets=(10, 40),
+            config=PaperConfig(
+                compression_layers=6, reconstruction_layers=6
+            ),
+        )
+        short, long = records
+        assert long["min_loss_r"] <= short["min_loss_r"] + 1e-9
+
+    def test_empty_budgets_rejected(self):
+        with pytest.raises(ExperimentError):
+            budget_study(budgets=())
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ExperimentError):
+            budget_study(budgets=(0,))

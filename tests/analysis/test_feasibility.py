@@ -1,0 +1,127 @@
+"""Tests for repro.analysis.feasibility."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.feasibility import (
+    gram_matrix,
+    unitary_map_exists,
+    unitary_map_residual,
+)
+from repro.encoding.amplitude import encode_batch
+from repro.exceptions import DimensionError
+from repro.simulator.unitary import haar_random_unitary, random_orthogonal
+
+
+class TestGramMatrix:
+    def test_orthonormal_family(self):
+        assert np.allclose(gram_matrix(np.eye(4)[:, :2]), np.eye(2))
+
+    def test_hermitian(self, rng):
+        x = rng.normal(size=(5, 3)) + 1j * rng.normal(size=(5, 3))
+        g = gram_matrix(x)
+        assert np.allclose(g, np.conj(g.T))
+
+    def test_1d_rejected(self):
+        with pytest.raises(DimensionError):
+            gram_matrix(np.ones(4))
+
+
+class TestUnitaryMapExists:
+    @given(st.integers(0, 300))
+    @settings(max_examples=25)
+    def test_property_unitary_images_always_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(6, 4))
+        x /= np.linalg.norm(x, axis=0)
+        u = random_orthogonal(6, rng)
+        assert unitary_map_exists(x, u @ x)
+
+    def test_collapsed_targets_infeasible(self):
+        x = np.eye(4)[:, :3]
+        y = np.tile(np.eye(4)[:, :1], (1, 3))
+        assert not unitary_map_exists(x, y)
+
+    def test_paper_uniform_target_infeasible(self, paper_images):
+        """The EXPERIMENTS.md ambiguity #3, as a theorem-level check."""
+        amps = encode_batch(paper_images).amplitudes()
+        uniform = np.zeros_like(amps)
+        uniform[12:, :] = 0.5  # |b|^2 uniform over the last 4 of 16
+        assert not unitary_map_exists(amps, uniform)
+
+    def test_pca_targets_feasible_on_rank4(self, paper_images):
+        from repro.network.projection import Projection
+        from repro.network.targets import TruncatedInputTarget
+
+        enc = encode_batch(paper_images)
+        proj = Projection.last(16, 4)
+        strat = TruncatedInputTarget.from_pca(proj, paper_images)
+        assert unitary_map_exists(enc.amplitudes(), strat.targets(enc))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            unitary_map_exists(np.eye(3), np.eye(4))
+
+
+class TestUnitaryMapResidual:
+    def test_zero_for_feasible(self, rng):
+        x = rng.normal(size=(5, 3))
+        x /= np.linalg.norm(x, axis=0)
+        u = random_orthogonal(5, rng)
+        residual, u_star = unitary_map_residual(x, u @ x)
+        assert residual == pytest.approx(0.0, abs=1e-10)
+        assert np.allclose(u_star @ x, u @ x, atol=1e-10)
+
+    def test_recovered_unitary_is_unitary(self, rng):
+        x = rng.normal(size=(4, 6))
+        y = rng.normal(size=(4, 6))
+        _, u_star = unitary_map_residual(x, y)
+        assert np.allclose(np.conj(u_star.T) @ u_star, np.eye(4), atol=1e-10)
+
+    def test_positive_for_infeasible(self):
+        x = np.eye(4)[:, :2]
+        y = np.tile(np.eye(4)[:, :1], (1, 2))
+        residual, _ = unitary_map_residual(x, y)
+        assert residual > 0.5
+
+    def test_residual_is_lower_bound_for_any_unitary(self, rng):
+        """Procrustes optimality: a random unitary never beats U*."""
+        x = rng.normal(size=(4, 5))
+        y = rng.normal(size=(4, 5))
+        residual, _ = unitary_map_residual(x, y)
+        u_rand = random_orthogonal(4, rng)
+        rand_loss = float(np.sum((u_rand @ x - y) ** 2))
+        assert residual <= rand_loss + 1e-9
+
+    def test_complex_families(self, rng):
+        x = rng.normal(size=(3, 2)) + 1j * rng.normal(size=(3, 2))
+        x /= np.linalg.norm(x, axis=0)
+        u = haar_random_unitary(3, rng)
+        residual, _ = unitary_map_residual(x, u @ x)
+        assert residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_target_has_large_full_map_floor(self, paper_images):
+        """The uniform target is far from unitarily reachable: the
+        full-map Procrustes floor is large.  (The *trained* L_C plateau,
+        ~2.9 in EXPERIMENTS.md, is lower because Eq. (5)'s projection
+        exempts the trash rows from the loss — the floor here bounds the
+        unprojected map and upper-bounds how bad the target choice is.)"""
+        amps = encode_batch(paper_images).amplitudes()
+        uniform = np.zeros_like(amps)
+        uniform[12:, :] = 0.5
+        residual, _ = unitary_map_residual(amps, uniform)
+        assert residual > 5.0  # nowhere near feasible
+        # Compare: the PCA-mixed targets have a (near-)zero floor.
+        from repro.network.projection import Projection
+        from repro.network.targets import TruncatedInputTarget
+
+        enc = encode_batch(paper_images)
+        strat = TruncatedInputTarget.from_pca(
+            Projection.last(16, 4), paper_images
+        )
+        good_residual, _ = unitary_map_residual(
+            enc.amplitudes(), strat.targets(enc)
+        )
+        assert good_residual == pytest.approx(0.0, abs=1e-8)

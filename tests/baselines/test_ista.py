@@ -1,0 +1,103 @@
+"""Tests for repro.baselines.ista."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ista import fista, ista, soft_threshold
+from repro.exceptions import BaselineError
+
+
+class TestSoftThreshold:
+    def test_shrinks_towards_zero(self):
+        out = soft_threshold(np.array([3.0, -3.0, 0.5]), 1.0)
+        assert out.tolist() == [2.0, -2.0, 0.0]
+
+    def test_zero_tau_is_identity(self, rng):
+        x = rng.normal(size=10)
+        assert np.allclose(soft_threshold(x, 0.0), x)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(BaselineError):
+            soft_threshold(np.ones(2), -0.1)
+
+
+def lasso_objective(d, y, s, lam):
+    return 0.5 * np.sum((y - d @ s) ** 2) + lam * np.sum(np.abs(s))
+
+
+class TestISTA:
+    def test_zero_lam_solves_least_squares(self, rng):
+        q, _ = np.linalg.qr(rng.normal(size=(6, 6)))
+        y = rng.normal(size=6)
+        s = ista(q, y, lam=0.0, max_iter=500)
+        assert np.allclose(q @ s, y, atol=1e-5)
+
+    def test_large_lam_gives_zero(self, rng):
+        d = np.eye(4)
+        s = ista(d, np.array([0.1, 0.1, 0.1, 0.1]), lam=10.0, max_iter=50)
+        assert np.allclose(s, 0.0)
+
+    def test_objective_decreases_vs_zero_init(self, rng):
+        d = rng.normal(size=(8, 12))
+        d /= np.linalg.norm(d, axis=0)
+        y = rng.normal(size=8)
+        lam = 0.05
+        s = ista(d, y, lam=lam, max_iter=300)
+        assert lasso_objective(d, y, s, lam) <= lasso_objective(
+            d, y, np.zeros(12), lam
+        )
+
+    def test_batch_matches_single(self, rng):
+        d = rng.normal(size=(6, 8))
+        d /= np.linalg.norm(d, axis=0)
+        ys = rng.normal(size=(6, 3))
+        batch = ista(d, ys, lam=0.02, max_iter=200)
+        for m in range(3):
+            single = ista(d, ys[:, m], lam=0.02, max_iter=200)
+            assert np.allclose(batch[:, m], single, atol=1e-8)
+
+    def test_identity_dictionary_closed_form(self):
+        """For D=I, the lasso solution is soft-thresholding of y."""
+        y = np.array([2.0, -0.5, 0.05, 0.0])
+        lam = 0.1
+        s = ista(np.eye(4), y, lam=lam, max_iter=500)
+        assert np.allclose(s, soft_threshold(y, lam), atol=1e-8)
+
+    def test_invalid_args(self):
+        with pytest.raises(BaselineError):
+            ista(np.eye(4), np.ones(4), lam=-1.0)
+        with pytest.raises(BaselineError):
+            ista(np.eye(4), np.ones(4), max_iter=0)
+        with pytest.raises(BaselineError):
+            ista(np.eye(4), np.ones(3))
+        with pytest.raises(BaselineError):
+            ista(np.zeros((4, 4)), np.ones(4))
+
+
+class TestFISTA:
+    def test_matches_ista_fixed_point(self, rng):
+        d = rng.normal(size=(8, 10))
+        d /= np.linalg.norm(d, axis=0)
+        y = rng.normal(size=8)
+        s_i = ista(d, y, lam=0.05, max_iter=3000, tol=0)
+        s_f = fista(d, y, lam=0.05, max_iter=3000, tol=0)
+        assert lasso_objective(d, y, s_f, 0.05) == pytest.approx(
+            lasso_objective(d, y, s_i, 0.05), abs=1e-6
+        )
+
+    def test_faster_than_ista(self, rng):
+        """FISTA reaches a lower objective within a small budget."""
+        d = rng.normal(size=(16, 32))
+        d /= np.linalg.norm(d, axis=0)
+        y = rng.normal(size=16)
+        lam = 0.02
+        budget = 15
+        s_i = ista(d, y, lam=lam, max_iter=budget, tol=0)
+        s_f = fista(d, y, lam=lam, max_iter=budget, tol=0)
+        assert lasso_objective(d, y, s_f, lam) <= lasso_objective(
+            d, y, s_i, lam
+        ) + 1e-10
+
+    def test_single_vector_shape(self, rng):
+        out = fista(np.eye(4), rng.normal(size=4))
+        assert out.shape == (4,)

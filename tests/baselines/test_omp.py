@@ -1,0 +1,109 @@
+"""Tests for repro.baselines.omp."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.omp import omp, omp_batch
+from repro.exceptions import BaselineError
+
+
+class TestOMP:
+    def test_exact_recovery_identity_dictionary(self):
+        y = np.array([0.0, 3.0, 0.0, -2.0])
+        s = omp(np.eye(4), y, sparsity=2)
+        assert np.allclose(s, y)
+
+    def test_sparsity_respected(self, rng):
+        d = rng.normal(size=(8, 16))
+        d /= np.linalg.norm(d, axis=0)
+        s = omp(d, rng.normal(size=8), sparsity=3)
+        assert np.count_nonzero(s) <= 3
+
+    def test_residual_decreases_with_sparsity(self, rng):
+        d = rng.normal(size=(8, 16))
+        d /= np.linalg.norm(d, axis=0)
+        y = rng.normal(size=8)
+        errs = [
+            np.linalg.norm(y - d @ omp(d, y, sparsity=k)) for k in (1, 4, 8)
+        ]
+        assert errs[0] >= errs[1] >= errs[2]
+
+    def test_full_sparsity_exact_for_square_dictionary(self, rng):
+        q, _ = np.linalg.qr(rng.normal(size=(6, 6)))
+        y = rng.normal(size=6)
+        s = omp(q, y, sparsity=6)
+        assert np.allclose(q @ s, y, atol=1e-10)
+
+    def test_tol_early_exit(self):
+        y = np.array([1.0, 0.0, 0.0])
+        s = omp(np.eye(3), y, sparsity=3, tol=1e-6)
+        assert np.count_nonzero(s) == 1
+
+    def test_zero_signal_returns_zero_code(self):
+        s = omp(np.eye(4), np.zeros(4), sparsity=2)
+        assert np.allclose(s, 0.0)
+
+    def test_exact_recovery_of_planted_sparse_code(self, rng):
+        """Well-conditioned instance: OMP recovers the planted support."""
+        d = rng.normal(size=(32, 16))
+        d /= np.linalg.norm(d, axis=0)
+        truth = np.zeros(16)
+        truth[[2, 9]] = [1.5, -2.0]
+        y = d @ truth
+        s = omp(d, y, sparsity=2)
+        assert np.allclose(s, truth, atol=1e-8)
+
+    @given(st.integers(0, 200))
+    @settings(max_examples=20)
+    def test_property_residual_orthogonal_to_support(self, seed):
+        """After OMP, the residual is orthogonal to selected atoms (the
+        defining property of the least-squares refit)."""
+        rng = np.random.default_rng(seed)
+        d = rng.normal(size=(8, 12))
+        d /= np.linalg.norm(d, axis=0)
+        y = rng.normal(size=8)
+        s = omp(d, y, sparsity=3)
+        support = np.nonzero(s)[0]
+        residual = y - d @ s
+        if support.size:
+            assert np.max(np.abs(d[:, support].T @ residual)) < 1e-8
+
+
+class TestValidation:
+    def test_invalid_sparsity(self):
+        with pytest.raises(BaselineError):
+            omp(np.eye(4), np.ones(4), sparsity=0)
+        with pytest.raises(BaselineError):
+            omp(np.eye(4), np.ones(4), sparsity=5)
+
+    def test_length_mismatch(self):
+        with pytest.raises(BaselineError):
+            omp(np.eye(4), np.ones(3), sparsity=1)
+
+    def test_negative_tol(self):
+        with pytest.raises(BaselineError):
+            omp(np.eye(4), np.ones(4), sparsity=1, tol=-1.0)
+
+    def test_1d_dictionary_rejected(self):
+        with pytest.raises(BaselineError):
+            omp(np.ones(4), np.ones(4), sparsity=1)
+
+
+class TestOMPBatch:
+    def test_batch_matches_loop(self, rng):
+        d = rng.normal(size=(8, 10))
+        d /= np.linalg.norm(d, axis=0)
+        ys = rng.normal(size=(8, 4))
+        batch = omp_batch(d, ys, sparsity=2)
+        for m in range(4):
+            assert np.allclose(batch[:, m], omp(d, ys[:, m], 2))
+
+    def test_batch_shape(self, rng):
+        d = np.eye(6)
+        assert omp_batch(d, rng.normal(size=(6, 3)), 2).shape == (6, 3)
+
+    def test_1d_signals_rejected(self):
+        with pytest.raises(BaselineError):
+            omp_batch(np.eye(4), np.ones(4), 1)

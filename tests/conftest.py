@@ -1,0 +1,49 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+# Deterministic, CI-friendly hypothesis profile: no deadline flakiness on
+# loaded machines, moderate example counts for the heavier state-vector
+# properties.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_network():
+    """A tiny initialised 4-mode, 2-layer network."""
+    from repro.network import QuantumNetwork
+
+    return QuantumNetwork(4, 2).initialize(
+        "uniform", rng=np.random.default_rng(3)
+    )
+
+
+@pytest.fixture
+def paper_images() -> np.ndarray:
+    """The 25x16 binary data matrix of the reproduction dataset."""
+    from repro.data import paper_dataset
+
+    return paper_dataset().matrix()
+
+
+@pytest.fixture
+def unit_batch(rng) -> np.ndarray:
+    """An (8, 5) batch of unit-norm random state columns."""
+    x = rng.normal(size=(8, 5))
+    return x / np.linalg.norm(x, axis=0)

@@ -1,0 +1,55 @@
+"""Tests for repro.data.glyphs."""
+
+import numpy as np
+import pytest
+
+from repro.data.glyphs import GLYPHS_4X4, GLYPHS_8X8, available_glyphs, glyph
+from repro.exceptions import DatasetError
+
+
+class TestGlyphLibrary:
+    def test_all_4x4_glyphs_shape(self):
+        for name, img in GLYPHS_4X4.items():
+            assert img.shape == (4, 4), name
+
+    def test_all_8x8_glyphs_shape(self):
+        for name, img in GLYPHS_8X8.items():
+            assert img.shape == (8, 8), name
+
+    def test_all_binary(self):
+        for img in GLYPHS_4X4.values():
+            assert set(np.unique(img)) <= {0.0, 1.0}
+
+    def test_none_empty(self):
+        for name, img in GLYPHS_4X4.items():
+            assert img.sum() > 0, name
+
+    def test_available_sorted(self):
+        names = available_glyphs(4)
+        assert names == sorted(names)
+        assert "zero" in names
+
+    def test_available_8(self):
+        assert "ring" in available_glyphs(8)
+
+    def test_available_invalid_size(self):
+        with pytest.raises(DatasetError):
+            available_glyphs(16)
+
+
+class TestGlyphAccess:
+    def test_returns_copy(self):
+        a = glyph("zero")
+        a[0, 0] = 0.5
+        assert GLYPHS_4X4["zero"][0, 0] == 1.0
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown glyph"):
+            glyph("nonexistent")
+
+    def test_size_8(self):
+        assert glyph("plus", size=8).shape == (8, 8)
+
+    def test_invalid_size(self):
+        with pytest.raises(DatasetError):
+            glyph("zero", size=5)

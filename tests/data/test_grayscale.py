@@ -1,0 +1,89 @@
+"""Tests for repro.data.grayscale."""
+
+import numpy as np
+import pytest
+
+from repro.data.grayscale import (
+    checkerboard,
+    gaussian_blob,
+    gradient_image,
+    grayscale_dataset,
+    stripes,
+)
+from repro.exceptions import DatasetError
+
+
+class TestGenerators:
+    def test_gradient_range(self):
+        img = gradient_image(8)
+        assert img.min() == pytest.approx(0.0)
+        assert img.max() == pytest.approx(1.0)
+
+    def test_gradient_horizontal_default(self):
+        img = gradient_image(4, angle=0.0)
+        assert np.allclose(img[0], img[3])  # constant along rows
+
+    def test_gradient_vertical(self):
+        img = gradient_image(4, angle=np.pi / 2)
+        assert np.allclose(img[:, 0], img[:, 3])
+
+    def test_blob_peak_at_center(self):
+        img = gaussian_blob(9, center=(0.5, 0.5))
+        assert img.max() == pytest.approx(1.0)
+        assert img[4, 4] == img.max()
+
+    def test_blob_invalid_sigma(self):
+        with pytest.raises(DatasetError):
+            gaussian_blob(8, sigma=0.0)
+
+    def test_checkerboard_alternates(self):
+        img = checkerboard(4, cell=1)
+        assert img[0, 0] != img[0, 1]
+        assert img[0, 0] == img[1, 1]
+
+    def test_checkerboard_cell_size(self):
+        img = checkerboard(4, cell=2)
+        assert np.all(img[:2, :2] == img[0, 0])
+
+    def test_checkerboard_invalid_cell(self):
+        with pytest.raises(DatasetError):
+            checkerboard(4, cell=0)
+
+    def test_stripes_range(self):
+        img = stripes(8, period=4)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_stripes_orientation(self):
+        h = stripes(4, period=2, horizontal=True)
+        v = stripes(4, period=2, horizontal=False)
+        assert np.allclose(h[0], h[0][0])
+        assert np.allclose(v[:, 0], v[0][0])
+
+    def test_size_validation(self):
+        with pytest.raises(DatasetError):
+            gradient_image(1)
+
+
+class TestGrayscaleDataset:
+    def test_shape_and_range(self):
+        ds = grayscale_dataset(num_samples=6, size=8, seed=0)
+        assert ds.num_samples == 6
+        assert ds.image_size == 8
+        assert ds.images.min() >= 0.0 and ds.images.max() <= 1.0
+
+    def test_not_binary(self):
+        assert not grayscale_dataset(8, size=8, seed=1).is_binary
+
+    def test_deterministic(self):
+        a = grayscale_dataset(4, seed=7)
+        b = grayscale_dataset(4, seed=7)
+        assert np.allclose(a.images, b.images)
+
+    def test_encodable(self):
+        """No all-zero images (Eq. 1 requires positive norm)."""
+        ds = grayscale_dataset(20, size=8, seed=3)
+        assert np.all(ds.matrix().sum(axis=1) > 0)
+
+    def test_invalid_count(self):
+        with pytest.raises(DatasetError):
+            grayscale_dataset(0)

@@ -1,0 +1,82 @@
+"""Tests for repro.data.noise."""
+
+import numpy as np
+import pytest
+
+from repro.data.noise import add_gaussian_noise, flip_pixels, salt_and_pepper
+from repro.exceptions import DatasetError
+
+
+class TestFlipPixels:
+    def test_stays_binary(self, rng):
+        imgs = (rng.random((5, 4, 4)) > 0.5).astype(float)
+        out = flip_pixels(imgs, 0.3, rng=rng)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_flip_all(self):
+        imgs = np.zeros((2, 2, 2))
+        out = flip_pixels(imgs, 1.0, rng=np.random.default_rng(0))
+        assert np.all(out == 1.0)
+
+    def test_flip_none(self, rng):
+        imgs = (rng.random((3, 4, 4)) > 0.5).astype(float)
+        assert np.array_equal(flip_pixels(imgs, 0.0, rng=rng), imgs)
+
+    def test_flip_rate_statistics(self):
+        imgs = np.zeros((100, 4, 4))
+        out = flip_pixels(imgs, 0.25, rng=np.random.default_rng(1))
+        assert out.mean() == pytest.approx(0.25, abs=0.03)
+
+    def test_grayscale_rejected(self):
+        with pytest.raises(DatasetError, match="binary"):
+            flip_pixels(np.full((2, 2, 2), 0.5), 0.1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DatasetError):
+            flip_pixels(np.zeros((1, 2, 2)), 1.5)
+
+    def test_input_not_mutated(self, rng):
+        imgs = np.zeros((2, 2, 2))
+        flip_pixels(imgs, 0.9, rng=rng)
+        assert np.all(imgs == 0.0)
+
+
+class TestGaussianNoise:
+    def test_clipped_to_unit_interval(self, rng):
+        out = add_gaussian_noise(np.full((4, 4), 0.5), 10.0, rng=rng)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_unclipped_option(self, rng):
+        out = add_gaussian_noise(
+            np.zeros((50, 50)), 2.0, rng=rng, clip=False
+        )
+        assert out.min() < 0.0
+
+    def test_zero_sigma_identity(self, rng):
+        x = rng.random((3, 3))
+        assert np.allclose(add_gaussian_noise(x, 0.0, rng=rng), x)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(DatasetError):
+            add_gaussian_noise(np.zeros((2, 2)), -0.1)
+
+
+class TestSaltAndPepper:
+    def test_corrupted_pixels_binary(self, rng):
+        x = np.full((10, 10), 0.5)
+        out = salt_and_pepper(x, 1.0, rng=rng)
+        assert set(np.unique(out)) <= {0.0, 1.0}
+
+    def test_zero_fraction_identity(self, rng):
+        x = rng.random((4, 4))
+        assert np.array_equal(salt_and_pepper(x, 0.0, rng=rng), x)
+
+    def test_fraction_statistics(self):
+        x = np.full((100, 100), 0.5)
+        out = salt_and_pepper(x, 0.3, rng=np.random.default_rng(2))
+        corrupted = np.mean(out != 0.5)
+        assert corrupted == pytest.approx(0.3, abs=0.03)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(DatasetError):
+            salt_and_pepper(np.zeros((2, 2)), -0.1)

@@ -1,0 +1,83 @@
+"""Tests for repro.experiments.cli (python -m repro ...)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.io.results_io import load_results
+
+
+class TestParser:
+    def test_experiment_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig4_defaults(self):
+        args = build_parser().parse_args(["fig4"])
+        assert args.iterations == 150
+        assert args.optimizer == "momentum"
+        assert args.gradient == "adjoint"
+
+    def test_ablation_requires_study(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation"])
+
+    def test_invalid_gradient_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig4", "--gradient", "magic"])
+
+
+class TestMain:
+    def test_fig4_runs_and_prints(self, capsys):
+        code = main(["fig4", "--iterations", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4a" in out
+        assert "Summary vs paper" in out
+
+    def test_fig5_runs(self, capsys):
+        assert main(["fig5", "--iterations", "3"]) == 0
+        assert "CSC-based" in capsys.readouterr().out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--iterations", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "QUANTUM SUPERIORITY" in out
+
+    def test_table1_strong_csc(self, capsys):
+        assert main(["table1", "--iterations", "3", "--strong-csc"]) == 0
+        assert "CSC-MOD/OMP" in capsys.readouterr().out
+
+    def test_ablation_gradient(self, capsys):
+        assert main(
+            ["ablation", "--study", "gradient", "--iterations", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "adjoint" in out and "fd" in out
+
+    def test_output_json_written(self, tmp_path, capsys):
+        path = tmp_path / "fig5.json"
+        assert main(
+            ["fig5", "--iterations", "3", "--output", str(path)]
+        ) == 0
+        results = load_results(path)
+        assert "qn_loss" in results
+        assert len(results["qn_loss"]) == 3
+
+    def test_fig4_output_contains_curves(self, tmp_path, capsys):
+        path = tmp_path / "fig4.json"
+        main(["fig4", "--iterations", "4", "--output", str(path)])
+        results = load_results(path)
+        assert len(results["loss_c"]) == 4
+        assert "max_accuracy_pct" in results
+
+    def test_seed_changes_results(self, tmp_path, capsys):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        main(["fig4", "--iterations", "3", "--seed", "1",
+              "--output", str(p1)])
+        main(["fig4", "--iterations", "3", "--seed", "2",
+              "--output", str(p2)])
+        a, b = load_results(p1), load_results(p2)
+        assert not np.allclose(a["loss_r"], b["loss_r"])

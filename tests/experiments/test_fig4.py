@@ -1,0 +1,80 @@
+"""Tests for repro.experiments.fig4 (reduced iteration counts)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.fig4 import Fig4Result, run_fig4
+
+
+@pytest.fixture(scope="module")
+def quick_result():
+    """A short but real run shared by all assertions in this module."""
+    return run_fig4(PaperConfig(iterations=25))
+
+
+class TestFig4Panels:
+    def test_panel_a_inputs(self, quick_result):
+        imgs = quick_result.input_images
+        assert imgs.shape == (25, 4, 4)
+        assert set(np.unique(imgs)) <= {0.0, 1.0}
+
+    def test_panel_b_outputs(self, quick_result):
+        out = quick_result.output_images
+        assert out.shape == (25, 4, 4)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+    def test_panel_c_losses(self, quick_result):
+        h = quick_result.history
+        assert len(h.loss_c) == 25
+        assert h.loss_c[-1] < h.loss_c[0]
+        assert h.loss_r[-1] < h.loss_r[0]
+
+    def test_panel_d_accuracy_curve(self, quick_result):
+        acc = quick_result.history.accuracy
+        assert len(acc) == 25
+        assert all(0.0 <= a <= 100.0 for a in acc)
+
+    def test_panel_e_f_traces(self, quick_result):
+        assert quick_result.output_trace.shape == (25, 16)
+        assert quick_result.compressed_trace.shape == (25, 16)
+        # Compressed trace is supported on the kept subspace only.
+        keep = quick_result.config.build_autoencoder().projection.keep
+        trash = np.setdiff1d(np.arange(16), keep)
+        assert np.allclose(quick_result.compressed_trace[:, trash], 0.0)
+
+    def test_panel_g_theta_trajectories(self, quick_result):
+        assert quick_result.theta_c.shape == (25, 180)
+        assert quick_result.theta_r.shape == (25, 210)
+        # Parameters move during training.
+        assert not np.allclose(
+            quick_result.theta_c[0], quick_result.theta_c[-1]
+        )
+
+    def test_summary_keys(self, quick_result):
+        s = quick_result.summary()
+        for key in (
+            "max_accuracy_pct",
+            "min_loss_c",
+            "min_loss_r",
+            "paper_max_accuracy_pct",
+        ):
+            assert key in s
+
+    def test_paper_reference_constants(self):
+        assert Fig4Result.PAPER_MAX_ACCURACY == 97.75
+        assert Fig4Result.PAPER_MIN_LOSS_C == 0.017
+        assert Fig4Result.PAPER_MIN_LOSS_R == 0.023
+
+    def test_deterministic(self):
+        a = run_fig4(PaperConfig(iterations=3))
+        b = run_fig4(PaperConfig(iterations=3))
+        assert np.allclose(a.history.loss_r, b.history.loss_r)
+
+    def test_rendering_smoke(self, quick_result):
+        from repro.experiments.reporting import render_fig4
+
+        text = render_fig4(quick_result)
+        assert "Fig. 4a" in text
+        assert "Fig. 4g" in text
+        assert "97.75%" in text

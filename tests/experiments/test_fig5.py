@@ -1,0 +1,57 @@
+"""Tests for repro.experiments.fig5."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.fig5 import run_fig5
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_fig5(PaperConfig(iterations=30))
+
+
+class TestFig5:
+    def test_curve_lengths_match_iterations(self, result):
+        assert len(result.qn_loss) == 30
+        assert len(result.csc_loss) == 30
+
+    def test_both_losses_decrease(self, result):
+        assert result.qn_loss[-1] < result.qn_loss[0]
+        assert result.csc_loss[-1] <= result.csc_loss[0]
+
+    def test_matrix_sizes_match_paper(self, result):
+        assert result.qn_matrix_size == "16*16"
+        assert result.csc_matrix_size == "16*16"
+
+    def test_summary_complete(self, result):
+        s = result.summary()
+        for key in (
+            "qn_final_loss",
+            "csc_final_loss",
+            "qn_wins_loss",
+            "qn_cpu_seconds",
+            "csc_cpu_seconds",
+        ):
+            assert key in s
+
+    def test_strong_csc_variant_runs(self):
+        r = run_fig5(
+            PaperConfig(iterations=5), csc_update="mod", csc_coder="omp"
+        )
+        assert len(r.csc_loss) == 5
+
+    def test_rendering_smoke(self, result):
+        from repro.experiments.reporting import render_fig5
+
+        text = render_fig5(result)
+        assert "QN-based" in text
+        assert "CSC-based" in text
+
+    @pytest.mark.slow
+    def test_paper_shape_qn_wins_at_full_budget(self):
+        """The headline Fig. 5c claim at the paper's full budget:
+        QN's final reconstruction loss is below the gradient-CSC's."""
+        r = run_fig5(PaperConfig())  # full 150 iterations
+        assert r.qn_wins_loss

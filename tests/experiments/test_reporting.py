@@ -1,0 +1,41 @@
+"""Tests for repro.experiments.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.reporting import render_image_grid, render_records
+
+
+class TestImageGrid:
+    def test_grid_contains_all_images(self):
+        imgs = np.stack([np.eye(2), np.zeros((2, 2)), np.ones((2, 2))])
+        out = render_image_grid(imgs, columns=2)
+        assert isinstance(out, str)
+        assert "@@" in out
+
+    def test_column_wrapping(self):
+        imgs = np.ones((5, 2, 2))
+        out = render_image_grid(imgs, columns=2)
+        # 5 images in 2 columns -> 3 row groups, blank separated.
+        groups = [g for g in out.split("\n\n") if g.strip()]
+        assert len(groups) == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            render_image_grid(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            render_image_grid(np.ones((1, 2, 2)), columns=0)
+
+
+class TestRenderRecords:
+    def test_float_formatting(self):
+        out = render_records(
+            [{"lr": 0.0100001, "acc": 97.753333}], title="sweep"
+        )
+        assert out.startswith("sweep")
+        assert "0.01" in out
+        assert "97.75" in out
+
+    def test_mixed_types(self):
+        out = render_records([{"method": "fd", "n": 5, "flag": True}])
+        assert "fd" in out and "5" in out and "True" in out

@@ -1,0 +1,55 @@
+"""Tests for repro.experiments.table1."""
+
+import pytest
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_table1(PaperConfig(iterations=30))
+
+
+class TestTable1:
+    def test_row_methods(self, rows):
+        assert [r.method for r in rows] == ["QN-based", "CSC-based"]
+
+    def test_accuracy_bounds(self, rows):
+        for r in rows:
+            assert 0.0 <= r.accuracy_pct <= 100.0
+
+    def test_cpu_seconds_positive(self, rows):
+        for r in rows:
+            assert r.cpu_seconds >= 0.0
+
+    def test_matrix_sizes(self, rows):
+        assert all(r.matrix_size == "16*16" for r in rows)
+
+    def test_as_dict_formatting(self, rows):
+        d = rows[0].as_dict()
+        assert d["Method"] == "QN-based"
+        assert d["Accuracy"].endswith("%")
+        assert d["CPU Runs"].endswith("s")
+
+    def test_strong_csc_appended(self):
+        rows = run_table1(PaperConfig(iterations=5), include_strong_csc=True)
+        assert [r.method for r in rows] == [
+            "QN-based",
+            "CSC-based",
+            "CSC-MOD/OMP",
+        ]
+
+    def test_rendering_includes_paper_rows(self, rows):
+        from repro.experiments.reporting import render_table1
+
+        text = render_table1(rows)
+        assert "QN-based (paper)" in text
+        assert "575.67s" in text
+
+    @pytest.mark.slow
+    def test_paper_shape_qn_beats_gradient_csc(self):
+        """Table I's accuracy ordering at the paper's full budget."""
+        rows = run_table1(PaperConfig())
+        qn, csc = rows
+        assert qn.accuracy_pct > csc.accuracy_pct

@@ -1,0 +1,78 @@
+"""Tests for repro.io.image_io."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.io.image_io import read_pgm, write_pbm, write_pgm
+
+
+class TestPGM:
+    def test_roundtrip(self, tmp_path, rng):
+        img = rng.random((4, 6))
+        path = tmp_path / "img.pgm"
+        write_pgm(img, path)
+        back = read_pgm(path)
+        assert back.shape == (4, 6)
+        assert np.allclose(back, img, atol=1 / 255 + 1e-9)
+
+    def test_16bit_precision(self, tmp_path, rng):
+        img = rng.random((3, 3))
+        path = tmp_path / "img16.pgm"
+        write_pgm(img, path, max_value=65535)
+        assert np.allclose(read_pgm(path), img, atol=1 / 65535 + 1e-9)
+
+    def test_header_format(self, tmp_path):
+        path = tmp_path / "x.pgm"
+        write_pgm(np.zeros((2, 3)), path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "P2"
+        assert lines[1] == "3 2"
+
+    def test_out_of_range_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_pgm(np.full((2, 2), 1.5), tmp_path / "bad.pgm")
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_pgm(np.zeros(4), tmp_path / "bad.pgm")
+
+    def test_invalid_max_value(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_pgm(np.zeros((2, 2)), tmp_path / "bad.pgm", max_value=0)
+
+    def test_read_rejects_non_pgm(self, tmp_path):
+        path = tmp_path / "not.pgm"
+        path.write_text("P5 binary stuff")
+        with pytest.raises(SerializationError):
+            read_pgm(path)
+
+    def test_read_rejects_truncated(self, tmp_path):
+        path = tmp_path / "trunc.pgm"
+        path.write_text("P2\n2 2\n255\n1 2 3\n")  # one pixel short
+        with pytest.raises(SerializationError, match="promises"):
+            read_pgm(path)
+
+    def test_read_skips_comments(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_text("P2\n# a comment\n1 1\n255\n128\n")
+        img = read_pgm(path)
+        assert img[0, 0] == pytest.approx(128 / 255)
+
+
+class TestPBM:
+    def test_binary_written(self, tmp_path):
+        img = np.array([[1.0, 0.0], [0.0, 1.0]])
+        path = tmp_path / "b.pbm"
+        write_pbm(img, path)
+        lines = path.read_text().splitlines()
+        assert lines[0] == "P1"
+        assert lines[2] == "1 0"
+
+    def test_grayscale_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="binary"):
+            write_pbm(np.full((2, 2), 0.5), tmp_path / "bad.pbm")
+
+    def test_non_2d_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            write_pbm(np.zeros(4), tmp_path / "bad.pbm")

@@ -1,0 +1,86 @@
+"""Tests for repro.io.model_io."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.io.model_io import (
+    load_autoencoder,
+    load_network,
+    save_autoencoder,
+    save_network,
+)
+from repro.network import Projection, QuantumAutoencoder, QuantumNetwork
+
+
+class TestNetworkRoundtrip:
+    def test_parameters_identical(self, tmp_path, rng):
+        net = QuantumNetwork(8, 3, descending=True).initialize(
+            "uniform", rng=rng
+        )
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        clone = load_network(path)
+        assert clone.dim == 8
+        assert clone.num_layers == 3
+        assert clone.descending is True
+        assert np.allclose(clone.get_flat_params(), net.get_flat_params())
+        assert np.allclose(clone.unitary(), net.unitary())
+
+    def test_phase_network_roundtrip(self, tmp_path, rng):
+        net = QuantumNetwork(4, 2, allow_phase=True)
+        net.set_flat_params(rng.uniform(0, 1, net.num_parameters))
+        path = tmp_path / "c.npz"
+        save_network(net, path)
+        clone = load_network(path)
+        assert clone.allow_phase
+        assert np.allclose(clone.get_flat_params(), net.get_flat_params())
+
+    def test_wrong_kind_rejected(self, tmp_path, rng):
+        ae = QuantumAutoencoder(4, 2, 1, 1)
+        path = tmp_path / "ae.npz"
+        save_autoencoder(ae, path)
+        with pytest.raises(SerializationError, match="QuantumNetwork"):
+            load_network(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        np.savez(path, foo=np.ones(3))
+        with pytest.raises(SerializationError, match="meta"):
+            load_network(path)
+
+
+class TestAutoencoderRoundtrip:
+    def test_full_roundtrip(self, tmp_path, rng):
+        ae = QuantumAutoencoder(
+            16, 4, 3, 4, projection=Projection.first(16, 4)
+        ).initialize("uniform", rng=rng)
+        path = tmp_path / "ae.npz"
+        save_autoencoder(ae, path)
+        clone = load_autoencoder(path)
+        assert clone.projection == ae.projection
+        assert clone.uc.num_layers == 3
+        assert clone.ur.num_layers == 4
+        assert np.allclose(
+            clone.uc.get_flat_params(), ae.uc.get_flat_params()
+        )
+        assert np.allclose(
+            clone.ur.get_flat_params(), ae.ur.get_flat_params()
+        )
+
+    def test_outputs_identical_after_reload(self, tmp_path, rng, paper_images):
+        ae = QuantumAutoencoder(16, 4, 2, 2).initialize("uniform", rng=rng)
+        path = tmp_path / "ae.npz"
+        save_autoencoder(ae, path)
+        clone = load_autoencoder(path)
+        assert np.allclose(
+            clone.forward(paper_images).x_hat,
+            ae.forward(paper_images).x_hat,
+        )
+
+    def test_wrong_kind_rejected(self, tmp_path, rng):
+        net = QuantumNetwork(4, 2)
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        with pytest.raises(SerializationError, match="QuantumAutoencoder"):
+            load_autoencoder(path)

@@ -1,0 +1,68 @@
+"""Tests for repro.io.results_io."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.io.results_io import load_results, save_results
+
+
+class TestRoundtrip:
+    def test_mixed_payload(self, tmp_path):
+        payload = {
+            "accuracy": 97.75,
+            "iterations": 150,
+            "name": "fig4",
+            "converged": True,
+            "none_field": None,
+            "losses": np.array([1.0, 0.5, 0.1]),
+            "curve_int": np.arange(4),
+            "nested": {"inner": np.eye(2), "list": [1, 2, 3]},
+        }
+        path = tmp_path / "r.json"
+        save_results(payload, path)
+        out = load_results(path)
+        assert out["accuracy"] == 97.75
+        assert out["iterations"] == 150
+        assert out["converged"] is True
+        assert out["none_field"] is None
+        assert np.allclose(out["losses"], payload["losses"])
+        assert out["curve_int"].dtype == np.int64
+        assert np.allclose(out["nested"]["inner"], np.eye(2))
+
+    def test_numpy_scalars_become_python(self, tmp_path):
+        path = tmp_path / "s.json"
+        save_results({"x": np.float64(1.5), "n": np.int32(3)}, path)
+        out = load_results(path)
+        assert isinstance(out["x"], float)
+        assert isinstance(out["n"], int)
+
+    def test_nonfinite_floats_roundtrip(self, tmp_path):
+        path = tmp_path / "inf.json"
+        save_results({"psnr": float("inf")}, path)
+        assert load_results(path)["psnr"] == float("inf")
+
+    def test_tuple_becomes_list(self, tmp_path):
+        path = tmp_path / "t.json"
+        save_results({"pair": (1, 2)}, path)
+        assert load_results(path)["pair"] == [1, 2]
+
+    def test_unserialisable_rejected(self, tmp_path):
+        with pytest.raises(SerializationError, match="cannot serialise"):
+            save_results({"fn": lambda x: x}, tmp_path / "bad.json")
+
+    def test_non_dict_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save_results([1, 2, 3], tmp_path / "bad.json")
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "corrupt.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError, match="corrupt"):
+            load_results(path)
+
+    def test_non_dict_file_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(SerializationError):
+            load_results(path)

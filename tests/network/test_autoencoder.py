@@ -1,0 +1,157 @@
+"""Tests for repro.network.autoencoder (Eqs. 3-4, Fig. 1 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, NetworkConfigError
+from repro.network.autoencoder import (
+    CompressionNetwork,
+    QuantumAutoencoder,
+    ReconstructionNetwork,
+)
+from repro.network.projection import Projection
+from repro.network.quantum_network import QuantumNetwork
+
+
+@pytest.fixture
+def ae(rng):
+    return QuantumAutoencoder(16, 4, 3, 3).initialize("uniform", rng=rng)
+
+
+class TestCompressionNetwork:
+    def test_dim_mismatch_rejected(self, rng):
+        net = QuantumNetwork(8, 2)
+        with pytest.raises(NetworkConfigError):
+            CompressionNetwork(net, Projection.last(16, 4))
+
+    def test_compress_is_projected_forward(self, rng):
+        net = QuantumNetwork(8, 2).initialize("uniform", rng=rng)
+        proj = Projection.last(8, 4)
+        comp = CompressionNetwork(net, proj)
+        x = rng.normal(size=(8, 3))
+        expected = proj.apply(net.forward(x))
+        assert np.allclose(comp.compress(x), expected)
+
+    def test_compressed_subnormalised(self, rng, unit_batch):
+        net = QuantumNetwork(8, 2).initialize("uniform", rng=rng)
+        comp = CompressionNetwork(net, Projection.last(8, 4))
+        out = comp.compress(unit_batch)
+        norms = np.linalg.norm(out, axis=0)
+        assert np.all(norms <= 1.0 + 1e-12)
+
+    def test_renormalize_option(self, rng, unit_batch):
+        net = QuantumNetwork(8, 2).initialize("uniform", rng=rng)
+        comp = CompressionNetwork(net, Projection.last(8, 4))
+        out = comp.compress(unit_batch, renormalize=True)
+        assert np.allclose(np.linalg.norm(out, axis=0), 1.0)
+
+    def test_compact_codes_shape(self, rng, unit_batch):
+        net = QuantumNetwork(8, 2).initialize("uniform", rng=rng)
+        comp = CompressionNetwork(net, Projection.last(8, 3))
+        assert comp.compact_codes(unit_batch).shape == (3, 5)
+
+    def test_retained_probability_bounds(self, rng, unit_batch):
+        net = QuantumNetwork(8, 2).initialize("uniform", rng=rng)
+        comp = CompressionNetwork(net, Projection.last(8, 4))
+        vals = comp.retained_probability(unit_batch)
+        assert np.all((vals >= 0) & (vals <= 1 + 1e-12))
+
+
+class TestReconstructionNetwork:
+    def test_reconstruct_applies_network(self, rng):
+        net = QuantumNetwork(8, 2).initialize("uniform", rng=rng)
+        recon = ReconstructionNetwork(net)
+        x = rng.normal(size=(8, 2))
+        assert np.allclose(recon.reconstruct(x), net.forward(x))
+
+    def test_dim_check(self, rng):
+        recon = ReconstructionNetwork(QuantumNetwork(8, 2))
+        with pytest.raises(DimensionError):
+            recon.reconstruct(np.ones((4, 2)))
+
+
+class TestQuantumAutoencoder:
+    def test_architecture_defaults(self, ae):
+        assert ae.dim == 16
+        assert ae.compressed_dim == 4
+        assert ae.uc.descending is False
+        assert ae.ur.descending is True  # reverse-order per Section III-B
+
+    def test_projection_default_is_last(self, ae):
+        assert ae.projection == Projection.last(16, 4)
+
+    def test_explicit_projection_must_match_d(self):
+        with pytest.raises(NetworkConfigError):
+            QuantumAutoencoder(
+                16, 4, 2, 2, projection=Projection.first(16, 8)
+            )
+
+    def test_non_power_of_two_dim_rejected(self):
+        with pytest.raises(DimensionError):
+            QuantumAutoencoder(12, 4, 2, 2)
+
+    def test_forward_output_shapes(self, ae, paper_images):
+        out = ae.forward(paper_images)
+        assert out.x_hat.shape == (25, 16)
+        assert out.compact_codes.shape == (4, 25)
+        assert out.compressed.shape == (16, 25)
+        assert out.output_amplitudes.shape == (16, 25)
+
+    def test_forward_equation4(self, ae, paper_images):
+        # |Psi> = U_R P1 U_C |psi> (Eq. 4).
+        enc = ae.codec.encode(paper_images)
+        expected = ae.ur.forward(
+            ae.projection.apply(ae.uc.forward(enc.amplitudes()))
+        )
+        out = ae.forward_encoded(enc)
+        assert np.allclose(out.output_amplitudes, expected)
+
+    def test_retained_probability_matches_norms(self, ae, paper_images):
+        out = ae.forward(paper_images)
+        assert np.allclose(
+            out.retained_probability,
+            np.linalg.norm(out.compressed, axis=0) ** 2,
+        )
+
+    def test_reconstruct_from_codes_matches_forward(self, ae, paper_images):
+        enc = ae.codec.encode(paper_images)
+        out = ae.forward_encoded(enc)
+        x_hat = ae.reconstruct_from_codes(
+            out.compact_codes, enc.squared_norms
+        )
+        assert np.allclose(x_hat, out.x_hat, atol=1e-12)
+
+    def test_compression_ratio(self, ae):
+        assert ae.compression_ratio() == pytest.approx(0.25)
+
+    def test_num_parameters_sum(self, ae):
+        assert ae.num_parameters == ae.uc.num_parameters + ae.ur.num_parameters
+
+    def test_forward_encoded_dim_check(self, ae):
+        from repro.encoding.amplitude import encode_batch
+
+        enc = encode_batch(np.ones((2, 8)))
+        with pytest.raises(DimensionError):
+            ae.forward_encoded(enc)
+
+    def test_initialize_seeds_both_networks(self, paper_images):
+        a = QuantumAutoencoder(16, 4, 2, 2).initialize(
+            rng=np.random.default_rng(0)
+        )
+        b = QuantumAutoencoder(16, 4, 2, 2).initialize(
+            rng=np.random.default_rng(0)
+        )
+        assert np.allclose(a.uc.get_flat_params(), b.uc.get_flat_params())
+        assert np.allclose(a.ur.get_flat_params(), b.ur.get_flat_params())
+        # UC and UR draw from one stream -> differ from each other
+        assert not np.allclose(a.uc.get_flat_params(), a.ur.get_flat_params())
+
+    def test_identity_networks_lossy_only_through_projection(
+        self, paper_images
+    ):
+        """With U_C = U_R = I the pipeline is exactly P1 on amplitudes."""
+        ae = QuantumAutoencoder(16, 4, 2, 2)  # zero-init = identity
+        enc = ae.codec.encode(paper_images)
+        out = ae.forward_encoded(enc)
+        expected = ae.projection.apply(enc.amplitudes())
+        assert np.allclose(out.output_amplitudes, expected)

@@ -1,0 +1,145 @@
+"""Tests for repro.network.projection (P1/P0, Fig. 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import ProjectionError
+from repro.network.projection import Projection
+
+
+class TestConstruction:
+    def test_paper_example_layout(self):
+        # (b_i)^2 = [0,0,0,0,.25,.25,.25,.25]: keep the LAST 4 of 8.
+        p = Projection.last(8, 4)
+        assert p.keep.tolist() == [4, 5, 6, 7]
+
+    def test_first(self):
+        assert Projection.first(8, 3).keep.tolist() == [0, 1, 2]
+
+    def test_arbitrary_indices_sorted_unique(self):
+        p = Projection(8, [5, 1, 5, 3])
+        assert p.keep.tolist() == [1, 3, 5]
+
+    def test_empty_keep_rejected(self):
+        with pytest.raises(ProjectionError, match="at least one"):
+            Projection(4, [])
+
+    def test_keep_everything_rejected(self):
+        with pytest.raises(ProjectionError, match="not a compression"):
+            Projection(4, [0, 1, 2, 3])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ProjectionError):
+            Projection(4, [4])
+        with pytest.raises(ProjectionError):
+            Projection(4, [-1])
+
+    def test_invalid_d(self):
+        with pytest.raises(ProjectionError):
+            Projection.last(8, 0)
+        with pytest.raises(ProjectionError):
+            Projection.last(8, 8)
+
+
+class TestAlgebra:
+    def test_p1_plus_p0_is_identity(self):
+        # Fig. 2: "The identity matrix can consist of P1 and P0".
+        p1 = Projection.last(8, 3)
+        p0 = p1.complement()
+        assert np.allclose(p1.matrix() + p0.matrix(), np.eye(8))
+
+    def test_idempotent(self):
+        p = Projection.last(8, 4)
+        m = p.matrix()
+        assert np.allclose(m @ m, m)
+
+    def test_apply_zeros_complement(self):
+        p = Projection.first(4, 2)
+        out = p.apply(np.ones(4))
+        assert out.tolist() == [1.0, 1.0, 0.0, 0.0]
+
+    def test_apply_batch(self):
+        p = Projection.last(4, 1)
+        out = p.apply(np.ones((4, 3)))
+        assert np.allclose(out[:3], 0.0)
+        assert np.allclose(out[3], 1.0)
+
+    def test_apply_inplace(self):
+        p = Projection.first(4, 2)
+        data = np.ones((4, 2))
+        p.apply_inplace(data)
+        assert np.allclose(data[2:], 0.0)
+
+    def test_apply_out_of_place_preserves_input(self):
+        p = Projection.first(4, 2)
+        x = np.ones(4)
+        p.apply(x)
+        assert np.allclose(x, 1.0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ProjectionError):
+            Projection.last(4, 2).apply(np.ones(8))
+
+    @given(st.integers(1, 7))
+    def test_property_idempotence_all_d(self, d):
+        p = Projection.last(8, d)
+        x = np.random.default_rng(d).normal(size=(8, 3))
+        assert np.allclose(p.apply(p.apply(x)), p.apply(x))
+
+
+class TestRestrictEmbed:
+    def test_restrict_shape(self):
+        p = Projection.last(8, 3)
+        assert p.restrict(np.ones((8, 5))).shape == (3, 5)
+
+    def test_embed_restores_positions(self):
+        p = Projection(4, [1, 3])
+        compact = np.array([[1.0], [2.0]])
+        out = p.embed(compact)
+        assert out[:, 0].tolist() == [0.0, 1.0, 0.0, 2.0]
+
+    def test_restrict_embed_roundtrip(self, rng):
+        p = Projection.last(8, 4)
+        x = rng.normal(size=(8, 3))
+        assert np.allclose(p.embed(p.restrict(x)), p.apply(x))
+
+    def test_embed_wrong_rows(self):
+        with pytest.raises(ProjectionError):
+            Projection.last(8, 3).embed(np.ones((4, 2)))
+
+    def test_restrict_dim_mismatch(self):
+        with pytest.raises(ProjectionError):
+            Projection.last(8, 3).restrict(np.ones((4, 2)))
+
+
+class TestRetainedProbability:
+    def test_full_mass_inside(self):
+        p = Projection.last(4, 2)
+        state = np.array([0.0, 0.0, 0.6, 0.8])
+        assert p.retained_probability(state) == pytest.approx(1.0)
+
+    def test_half_mass(self):
+        p = Projection.first(2, 1)
+        state = np.array([1.0, 1.0]) / np.sqrt(2)
+        assert p.retained_probability(state) == pytest.approx(0.5)
+
+    def test_batch_output(self, rng):
+        p = Projection.last(8, 4)
+        x = rng.normal(size=(8, 6))
+        x /= np.linalg.norm(x, axis=0)
+        vals = p.retained_probability(x)
+        assert vals.shape == (6,)
+        assert np.all((vals >= 0) & (vals <= 1 + 1e-12))
+
+
+class TestEquality:
+    def test_eq_and_hash(self):
+        a = Projection.last(8, 4)
+        b = Projection(8, [4, 5, 6, 7])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_neq_different_keep(self):
+        assert Projection.last(8, 4) != Projection.first(8, 4)

@@ -1,0 +1,61 @@
+"""Tests for repro.optics.beamsplitter."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GateError
+from repro.optics.beamsplitter import (
+    beamsplitter_block,
+    lossy_beamsplitter_block,
+)
+from repro.simulator.gates import BeamsplitterGate
+
+
+class TestIdealBlock:
+    def test_identity_at_zero(self):
+        assert np.allclose(beamsplitter_block(0.0), np.eye(2))
+
+    def test_matches_gate_convention(self):
+        assert np.allclose(
+            beamsplitter_block(0.37), BeamsplitterGate(0, 0.37).matrix2()
+        )
+
+    def test_complex_matches_gate(self):
+        assert np.allclose(
+            beamsplitter_block(0.3, alpha=0.9),
+            BeamsplitterGate(0, 0.3, alpha=0.9).matrix2(),
+        )
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(GateError):
+            beamsplitter_block(np.nan)
+
+    @given(st.floats(-6, 6, allow_nan=False))
+    def test_property_orthogonal(self, theta):
+        b = beamsplitter_block(theta)
+        assert np.allclose(b.T @ b, np.eye(2), atol=1e-12)
+
+
+class TestLossyBlock:
+    def test_zero_loss_is_ideal(self):
+        assert np.allclose(
+            lossy_beamsplitter_block(0.5, 0.0), beamsplitter_block(0.5)
+        )
+
+    def test_subunitarity_scaling(self):
+        b = lossy_beamsplitter_block(0.7, loss=0.1)
+        gram = b.T @ b
+        assert np.allclose(gram, 0.9 * np.eye(2), atol=1e-12)
+
+    def test_power_conservation_bound(self):
+        b = lossy_beamsplitter_block(0.3, loss=0.25)
+        v = np.array([0.6, 0.8])
+        assert np.linalg.norm(b @ v) ** 2 == pytest.approx(0.75)
+
+    def test_invalid_loss(self):
+        with pytest.raises(GateError):
+            lossy_beamsplitter_block(0.1, loss=1.0)
+        with pytest.raises(GateError):
+            lossy_beamsplitter_block(0.1, loss=-0.1)

@@ -1,0 +1,122 @@
+"""Tests for repro.optics.mesh (layouts and Reck synthesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DecompositionError
+from repro.optics.mesh import (
+    circuit_from_orthogonal,
+    mesh_depth,
+    reck_decompose,
+    rectangular_mesh_layout,
+)
+from repro.simulator.gates import BeamsplitterGate
+from repro.simulator.unitary import random_orthogonal
+
+
+class TestLayout:
+    def test_paper_figure3_structure(self):
+        # 2-layer 8-dim network: each layer has 7 gates (0,1)...(6,7).
+        layout = rectangular_mesh_layout(8, 2)
+        assert layout == [[0, 1, 2, 3, 4, 5, 6]] * 2
+
+    def test_mesh_depth(self):
+        # Paper Section IV-A: 12x15 and 14x15 parameter grids.
+        assert mesh_depth(16, 12) == 180
+        assert mesh_depth(16, 14) == 210
+
+    def test_invalid_args(self):
+        with pytest.raises(DecompositionError):
+            rectangular_mesh_layout(1, 2)
+        with pytest.raises(DecompositionError):
+            rectangular_mesh_layout(4, 0)
+        with pytest.raises(DecompositionError):
+            mesh_depth(1, 1)
+
+
+class TestReckDecompose:
+    def test_identity_decomposes_trivially(self):
+        rotations, signs = reck_decompose(np.eye(5))
+        assert rotations == []
+        assert np.all(signs == 1.0)
+
+    def test_factorisation_reconstructs(self, rng):
+        u = random_orthogonal(6, rng)
+        rotations, signs = reck_decompose(u)
+        rebuilt = np.diag(signs)
+        for mode, theta in reversed(rotations):
+            rebuilt = BeamsplitterGate(mode, theta).embed(6) @ rebuilt
+        assert np.allclose(rebuilt, u, atol=1e-10)
+
+    def test_signs_multiply_to_det(self, rng):
+        for seed in range(5):
+            u = random_orthogonal(5, np.random.default_rng(seed))
+            _, signs = reck_decompose(u)
+            assert np.prod(signs) == pytest.approx(np.linalg.det(u))
+
+    def test_gate_count_bounded(self, rng):
+        u = random_orthogonal(8, rng)
+        rotations, _ = reck_decompose(u)
+        assert len(rotations) <= 8 * 7 // 2  # N(N-1)/2
+
+    def test_non_orthogonal_rejected(self):
+        with pytest.raises(DecompositionError, match="not orthogonal"):
+            reck_decompose(np.ones((3, 3)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DecompositionError):
+            reck_decompose(np.ones((2, 3)))
+
+    @given(st.integers(0, 100), st.integers(2, 10))
+    @settings(max_examples=25)
+    def test_property_roundtrip(self, seed, dim):
+        u = random_orthogonal(dim, np.random.default_rng(seed))
+        rotations, signs = reck_decompose(u)
+        rebuilt = np.diag(signs)
+        for mode, theta in reversed(rotations):
+            rebuilt = BeamsplitterGate(mode, theta).embed(dim) @ rebuilt
+        assert np.allclose(rebuilt, u, atol=1e-9)
+
+
+class TestCircuitFromOrthogonal:
+    def test_special_orthogonal_roundtrip(self, rng):
+        u = random_orthogonal(7, rng, special=True)
+        c = circuit_from_orthogonal(u)
+        assert np.allclose(c.unitary(), u, atol=1e-9)
+
+    def test_handles_even_sign_pairs(self):
+        """A diagonal with two -1s (det +1) must synthesise exactly."""
+        d = np.diag([1.0, -1.0, 1.0, -1.0, 1.0])
+        c = circuit_from_orthogonal(d)
+        assert np.allclose(c.unitary(), d, atol=1e-12)
+
+    def test_adjacent_sign_pair(self):
+        d = np.diag([-1.0, -1.0, 1.0])
+        c = circuit_from_orthogonal(d)
+        assert np.allclose(c.unitary(), d, atol=1e-12)
+
+    def test_det_minus_one_rejected(self, rng):
+        u = random_orthogonal(4, rng)
+        if np.linalg.det(u) > 0:
+            u[:, 0] = -u[:, 0]
+        with pytest.raises(DecompositionError, match="reflection"):
+            circuit_from_orthogonal(u)
+
+    def test_network_unitary_synthesisable(self, rng):
+        """The paper's trained U_C is always synthesisable: it is a
+        product of rotations, hence det +1."""
+        from repro.network import QuantumNetwork
+
+        net = QuantumNetwork(8, 3).initialize("uniform", rng=rng)
+        u = net.unitary()
+        c = circuit_from_orthogonal(u)
+        assert np.allclose(c.unitary(), u, atol=1e-9)
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=15)
+    def test_property_so_n_synthesis(self, seed):
+        u = random_orthogonal(5, np.random.default_rng(seed), special=True)
+        c = circuit_from_orthogonal(u)
+        assert np.allclose(c.unitary(), u, atol=1e-9)

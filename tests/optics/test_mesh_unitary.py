@@ -1,0 +1,82 @@
+"""Tests for circuit_from_unitary (the full U(N) Clements capability)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DecompositionError
+from repro.optics.mesh import circuit_from_unitary
+from repro.simulator.gates import BeamsplitterGate, PhaseGate
+from repro.simulator.unitary import haar_random_unitary, random_orthogonal
+
+
+class TestCircuitFromUnitary:
+    def test_haar_roundtrip(self, rng):
+        u = haar_random_unitary(6, rng)
+        c = circuit_from_unitary(u)
+        assert np.allclose(c.unitary(), u, atol=1e-9)
+
+    def test_identity(self):
+        c = circuit_from_unitary(np.eye(4))
+        assert np.allclose(c.unitary(), np.eye(4))
+
+    def test_reflection_handled(self, rng):
+        """det = -1 orthogonals (impossible for the rotations-only path)
+        synthesise exactly once phase shifters are allowed."""
+        q = random_orthogonal(5, rng)
+        if np.linalg.det(q) > 0:
+            q[:, 0] = -q[:, 0]
+        c = circuit_from_unitary(q)
+        assert np.allclose(c.unitary(), q, atol=1e-9)
+
+    def test_diagonal_phase_matrix(self):
+        d = np.diag(np.exp(1j * np.array([0.3, -1.2, 2.0])))
+        c = circuit_from_unitary(d)
+        assert np.allclose(c.unitary(), d, atol=1e-12)
+        # Pure phases need no beamsplitters.
+        assert all(isinstance(g, PhaseGate) for g in c.gates)
+
+    def test_gate_budget(self, rng):
+        """At most N(N-1)/2 rotations + as many aligning phases + N output
+        phases."""
+        n = 8
+        u = haar_random_unitary(n, rng)
+        c = circuit_from_unitary(u)
+        rotations = sum(
+            isinstance(g, BeamsplitterGate) for g in c.gates
+        )
+        assert rotations <= n * (n - 1) // 2
+
+    def test_rotation_gates_are_real(self, rng):
+        u = haar_random_unitary(4, rng)
+        c = circuit_from_unitary(u)
+        for g in c.gates:
+            if isinstance(g, BeamsplitterGate):
+                assert g.alpha == 0.0  # phases live in PhaseGates
+
+    def test_non_unitary_rejected(self):
+        with pytest.raises(DecompositionError, match="not unitary"):
+            circuit_from_unitary(np.ones((3, 3)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DecompositionError):
+            circuit_from_unitary(np.ones((2, 3)))
+
+    @given(st.integers(0, 200), st.integers(2, 8))
+    @settings(max_examples=25)
+    def test_property_roundtrip(self, seed, dim):
+        u = haar_random_unitary(dim, np.random.default_rng(seed))
+        c = circuit_from_unitary(u)
+        assert np.allclose(c.unitary(), u, atol=1e-8)
+
+    def test_trained_complex_network_synthesisable(self, rng):
+        """Section V extension deployed: a complex (alpha) network's
+        unitary can be programmed as rotations + phase shifters."""
+        from repro.network import QuantumNetwork
+
+        net = QuantumNetwork(4, 2, allow_phase=True)
+        net.set_flat_params(rng.uniform(0.1, 2.0, net.num_parameters))
+        u = net.unitary()
+        c = circuit_from_unitary(u)
+        assert np.allclose(c.unitary(), u, atol=1e-9)

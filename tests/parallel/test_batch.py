@@ -1,0 +1,78 @@
+"""Tests for repro.parallel.batch."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError
+from repro.network import QuantumAutoencoder, QuantumNetwork
+from repro.parallel.batch import ChunkedPipeline, chunked_forward
+
+
+class TestChunkedForward:
+    def test_matches_direct_forward(self, rng):
+        net = QuantumNetwork(8, 3).initialize("uniform", rng=rng)
+        x = rng.normal(size=(8, 50))
+        assert np.allclose(
+            chunked_forward(net, x, chunk_size=7), net.forward(x)
+        )
+
+    def test_chunk_larger_than_batch(self, rng):
+        net = QuantumNetwork(4, 2).initialize("uniform", rng=rng)
+        x = rng.normal(size=(4, 3))
+        assert np.allclose(
+            chunked_forward(net, x, chunk_size=100), net.forward(x)
+        )
+
+    def test_out_buffer_used(self, rng):
+        net = QuantumNetwork(4, 2).initialize("uniform", rng=rng)
+        x = rng.normal(size=(4, 10))
+        out = np.empty_like(x)
+        result = chunked_forward(net, x, chunk_size=4, out=out)
+        assert result is out
+
+    def test_out_shape_validated(self, rng):
+        net = QuantumNetwork(4, 2)
+        with pytest.raises(DimensionError):
+            chunked_forward(net, np.ones((4, 3)), out=np.empty((4, 5)))
+
+    def test_invalid_chunk_size(self, rng):
+        net = QuantumNetwork(4, 2)
+        with pytest.raises(DimensionError):
+            chunked_forward(net, np.ones((4, 3)), chunk_size=0)
+
+    def test_dim_mismatch(self):
+        net = QuantumNetwork(4, 2)
+        with pytest.raises(DimensionError):
+            chunked_forward(net, np.ones((8, 3)))
+
+    def test_input_not_mutated(self, rng):
+        net = QuantumNetwork(4, 2).initialize("uniform", rng=rng)
+        x = np.ones((4, 6))
+        chunked_forward(net, x, chunk_size=2)
+        assert np.all(x == 1.0)
+
+
+class TestChunkedPipeline:
+    @pytest.fixture
+    def ae(self, rng):
+        return QuantumAutoencoder(4, 2, 2, 2).initialize("uniform", rng=rng)
+
+    def test_reconstruct_matches_direct(self, ae, rng):
+        X = np.abs(rng.normal(size=(30, 4))) + 0.1
+        chunked = ChunkedPipeline(ae, chunk_size=7).reconstruct(X)
+        direct = ae.forward(X).x_hat
+        assert np.allclose(chunked, direct)
+
+    def test_codes_match_direct(self, ae, rng):
+        X = np.abs(rng.normal(size=(20, 4))) + 0.1
+        chunked = ChunkedPipeline(ae, chunk_size=6).compact_codes(X)
+        direct = ae.forward(X).compact_codes
+        assert np.allclose(chunked, direct)
+
+    def test_invalid_chunk_size(self, ae):
+        with pytest.raises(DimensionError):
+            ChunkedPipeline(ae, chunk_size=0)
+
+    def test_1d_input_rejected(self, ae):
+        with pytest.raises(DimensionError):
+            ChunkedPipeline(ae).reconstruct(np.ones(4))

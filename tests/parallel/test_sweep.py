@@ -1,0 +1,79 @@
+"""Tests for repro.parallel.sweep."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.parallel.sweep import run_sweep, sweep_grid
+
+
+def _square_worker(config, seed):
+    """Module-level worker (picklable for the process-pool path)."""
+    return config["x"] ** 2 + seed % 2
+
+
+def _seed_worker(config, seed):
+    return seed
+
+
+class TestSweepGrid:
+    def test_cartesian_product(self):
+        grid = sweep_grid(a=[1, 2], b=["x", "y", "z"])
+        assert len(grid) == 6
+        assert {"a": 2, "b": "z"} in grid
+
+    def test_single_axis(self):
+        assert sweep_grid(lr=[0.1]) == [{"lr": 0.1}]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            sweep_grid(a=[])
+
+    def test_no_axes_rejected(self):
+        with pytest.raises(ExperimentError):
+            sweep_grid()
+
+
+class TestRunSweepSerial:
+    def test_results_in_order(self):
+        configs = [{"x": i} for i in range(5)]
+        results = run_sweep(_square_worker, configs, processes=0)
+        assert [r.config["x"] for r in results] == list(range(5))
+
+    def test_worker_receives_config(self):
+        results = run_sweep(_square_worker, [{"x": 3}], processes=0)
+        assert results[0].result in (9, 10)  # 9 + seed parity
+
+    def test_seeds_independent(self):
+        results = run_sweep(
+            _seed_worker, [{"i": i} for i in range(8)], processes=0
+        )
+        seeds = [r.seed for r in results]
+        assert len(set(seeds)) == 8
+
+    def test_seeds_deterministic_from_base(self):
+        a = run_sweep(_seed_worker, [{}, {}], processes=0, base_seed=1)
+        b = run_sweep(_seed_worker, [{}, {}], processes=0, base_seed=1)
+        assert [r.seed for r in a] == [r.seed for r in b]
+
+    def test_different_base_seed_differs(self):
+        a = run_sweep(_seed_worker, [{}], processes=0, base_seed=1)
+        b = run_sweep(_seed_worker, [{}], processes=0, base_seed=2)
+        assert a[0].seed != b[0].seed
+
+    def test_empty_configs_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sweep(_square_worker, [], processes=0)
+
+
+class TestRunSweepParallel:
+    def test_pool_matches_serial(self):
+        configs = [{"x": i} for i in range(6)]
+        serial = run_sweep(_square_worker, configs, processes=0, base_seed=3)
+        parallel = run_sweep(_square_worker, configs, processes=2, base_seed=3)
+        assert [r.result for r in serial] == [r.result for r in parallel]
+
+    def test_pool_preserves_order(self):
+        configs = [{"x": i} for i in range(10)]
+        results = run_sweep(_square_worker, configs, processes=3)
+        assert [r.config["x"] for r in results] == list(range(10))

@@ -1,0 +1,140 @@
+"""Tests for repro.simulator.circuit."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import CircuitError
+from repro.simulator.circuit import Circuit
+from repro.simulator.gates import BeamsplitterGate, PhaseGate
+from repro.simulator.state import QuantumState, StateBatch
+
+
+def random_circuit(dim, n_gates, seed=0):
+    rng = np.random.default_rng(seed)
+    c = Circuit(dim)
+    for _ in range(n_gates):
+        c.append(
+            BeamsplitterGate(int(rng.integers(dim - 1)), float(rng.uniform(0, 2 * np.pi)))
+        )
+    return c
+
+
+class TestConstruction:
+    def test_empty_circuit_is_identity(self):
+        assert np.allclose(Circuit(4).unitary(), np.eye(4))
+
+    def test_invalid_dim(self):
+        with pytest.raises(CircuitError):
+            Circuit(1)
+
+    def test_gate_out_of_range_rejected(self):
+        with pytest.raises(CircuitError, match="fit"):
+            Circuit(3).append(BeamsplitterGate(2, 0.1))
+
+    def test_phase_gate_fits_last_mode(self):
+        c = Circuit(3).append(PhaseGate(2, 0.1))
+        assert c.num_gates == 1
+
+    def test_extend_and_len(self):
+        c = Circuit(4)
+        c.extend([BeamsplitterGate(0, 0.1), BeamsplitterGate(1, 0.2)])
+        assert len(c) == 2
+
+    def test_thetas_order(self):
+        c = Circuit(4)
+        c.append(BeamsplitterGate(0, 0.1))
+        c.append(PhaseGate(1, 9.9))  # not a theta
+        c.append(BeamsplitterGate(2, 0.3))
+        assert c.thetas().tolist() == [0.1, 0.3]
+
+    def test_is_real(self):
+        c = Circuit(4).append(BeamsplitterGate(0, 0.1))
+        assert c.is_real
+        c.append(BeamsplitterGate(1, 0.1, alpha=0.5))
+        assert not c.is_real
+
+
+class TestApplication:
+    def test_apply_matches_unitary(self):
+        c = random_circuit(5, 12)
+        v = np.arange(1.0, 6.0)
+        assert np.allclose(c.apply(v), c.unitary() @ v)
+
+    def test_apply_quantum_state(self):
+        c = random_circuit(4, 6)
+        s = QuantumState.uniform(4)
+        out = c.apply(s)
+        assert isinstance(out, QuantumState)
+        assert out.norm() == pytest.approx(1.0)
+
+    def test_apply_state_batch(self):
+        c = random_circuit(4, 6)
+        b = StateBatch(np.eye(4), normalize=False)
+        out = c.apply(b)
+        assert isinstance(out, StateBatch)
+        assert np.allclose(out.data, c.unitary())
+
+    def test_apply_dim_mismatch(self):
+        with pytest.raises(CircuitError):
+            random_circuit(4, 3).apply(QuantumState.uniform(8))
+
+    def test_inverse_application_roundtrip(self):
+        c = random_circuit(6, 20)
+        v = np.random.default_rng(1).normal(size=6)
+        assert np.allclose(c.apply(c.apply(v), inverse=True), v)
+
+    def test_apply_does_not_mutate_input(self):
+        c = random_circuit(4, 4)
+        v = np.ones(4)
+        c.apply(v)
+        assert np.allclose(v, 1.0)
+
+    @given(st.integers(0, 2**30))
+    def test_property_unitary(self, seed):
+        c = random_circuit(4, 8, seed)
+        u = c.unitary()
+        assert np.allclose(u.T @ u, np.eye(4), atol=1e-12)
+
+
+class TestAlgebra:
+    def test_inverse_circuit_exact(self):
+        c = random_circuit(5, 10)
+        inv = c.inverse()
+        assert np.allclose(inv.unitary() @ c.unitary(), np.eye(5))
+
+    def test_inverse_of_complex_bs_raises(self):
+        c = Circuit(4).append(BeamsplitterGate(0, 0.3, alpha=0.4))
+        with pytest.raises(CircuitError, match="complex"):
+            c.inverse()
+
+    def test_inverse_handles_phase_gates(self):
+        c = Circuit(3)
+        c.append(PhaseGate(0, 0.6))
+        c.append(BeamsplitterGate(1, 0.2))
+        inv = c.inverse()
+        assert np.allclose(inv.unitary() @ c.unitary(), np.eye(3))
+
+    def test_reversed_order_structure(self):
+        c = Circuit(4)
+        c.append(BeamsplitterGate(0, 0.1))
+        c.append(BeamsplitterGate(2, 0.2))
+        r = c.reversed_order()
+        assert [g.mode for g in r.gates] == [2, 0]
+        # same parameters, different order -> generally different unitary
+        assert r.thetas().tolist() == [0.2, 0.1]
+
+    def test_compose(self):
+        a = random_circuit(4, 3, seed=1)
+        b = random_circuit(4, 4, seed=2)
+        ab = a.compose(b)
+        assert np.allclose(ab.unitary(), b.unitary() @ a.unitary())
+
+    def test_compose_dim_mismatch(self):
+        with pytest.raises(CircuitError):
+            Circuit(4).compose(Circuit(8))
+
+    def test_iteration(self):
+        c = random_circuit(4, 5)
+        assert len(list(iter(c))) == 5

@@ -1,0 +1,88 @@
+"""Edge-case tests for circuits mixing gate kinds and dtypes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import CircuitError
+from repro.simulator.circuit import Circuit
+from repro.simulator.gates import BeamsplitterGate, PhaseGate
+from repro.simulator.state import QuantumState
+
+
+class TestMixedGateCircuits:
+    def test_phase_then_rotation_unitary(self):
+        c = Circuit(3)
+        c.append(PhaseGate(0, 0.5))
+        c.append(BeamsplitterGate(0, 0.3))
+        c.append(PhaseGate(2, -1.0))
+        u = c.unitary()
+        assert u.dtype == np.complex128
+        assert np.allclose(np.conj(u.T) @ u, np.eye(3), atol=1e-12)
+
+    def test_complex_circuit_on_real_state_raises(self):
+        c = Circuit(2).append(PhaseGate(0, 0.5))
+        with pytest.raises(Exception):
+            c.apply_inplace(np.eye(2))  # real buffer cannot hold phases
+
+    def test_complex_circuit_on_complex_state(self):
+        c = Circuit(2).append(PhaseGate(0, np.pi))
+        out = c.apply(np.eye(2, dtype=np.complex128))
+        assert out[0, 0] == pytest.approx(-1.0)
+
+    def test_inverse_application_of_mixed_circuit(self):
+        c = Circuit(3)
+        c.append(PhaseGate(1, 0.7))
+        c.append(BeamsplitterGate(1, 0.4, alpha=0.2))
+        v = np.array([0.6, 0.0, 0.8], dtype=np.complex128)
+        out = c.apply(c.apply(v), inverse=True)
+        assert np.allclose(out, v, atol=1e-12)
+
+    def test_real_gate_alpha_zero_stays_real(self):
+        c = Circuit(2).append(BeamsplitterGate(0, 0.3, alpha=0.0))
+        assert c.is_real
+        assert c.unitary().dtype == np.float64
+
+
+class TestDeepCircuits:
+    def test_thousand_gate_numerical_stability(self, rng):
+        """Accumulated float error over 1000 gates stays tiny."""
+        c = Circuit(8)
+        for _ in range(1000):
+            c.append(
+                BeamsplitterGate(
+                    int(rng.integers(7)), float(rng.uniform(0, 2 * np.pi))
+                )
+            )
+        u = c.unitary()
+        from repro.simulator.unitary import unitarity_defect
+
+        assert unitarity_defect(u) < 1e-12
+
+    def test_deep_inverse_roundtrip(self, rng):
+        c = Circuit(6)
+        for _ in range(500):
+            c.append(
+                BeamsplitterGate(
+                    int(rng.integers(5)), float(rng.uniform(0, 2 * np.pi))
+                )
+            )
+        s = QuantumState.uniform(6)
+        back = c.apply(c.apply(s), inverse=True)
+        assert back.fidelity(s) == pytest.approx(1.0, abs=1e-12)
+
+    def test_compose_associativity(self, rng):
+        def rand_circuit(seed):
+            r = np.random.default_rng(seed)
+            c = Circuit(4)
+            for _ in range(5):
+                c.append(
+                    BeamsplitterGate(
+                        int(r.integers(3)), float(r.uniform(0, 6))
+                    )
+                )
+            return c
+
+        a, b, c3 = rand_circuit(1), rand_circuit(2), rand_circuit(3)
+        left = a.compose(b).compose(c3).unitary()
+        right = a.compose(b.compose(c3)).unitary()
+        assert np.allclose(left, right, atol=1e-12)

@@ -1,0 +1,170 @@
+"""Tests for repro.simulator.state."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import DimensionError, NormalizationError
+from repro.simulator.state import QuantumState, StateBatch
+
+
+class TestQuantumState:
+    def test_normalizes_by_default(self):
+        s = QuantumState([3.0, 4.0])
+        assert s.norm() == pytest.approx(1.0)
+        assert s.amplitudes.tolist() == pytest.approx([0.6, 0.8])
+
+    def test_normalize_false_keeps_values(self):
+        s = QuantumState([0.5, 0.5], normalize=False)
+        assert s.norm() == pytest.approx(np.sqrt(0.5))
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(NormalizationError):
+            QuantumState([0.0, 0.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(NormalizationError):
+            QuantumState([np.nan, 1.0])
+
+    def test_2d_rejected(self):
+        with pytest.raises(DimensionError):
+            QuantumState(np.eye(2))
+
+    def test_single_amplitude_rejected(self):
+        with pytest.raises(DimensionError):
+            QuantumState([1.0])
+
+    def test_probabilities_sum_to_one(self):
+        s = QuantumState([1.0, 2.0, 3.0, 4.0])
+        assert s.probabilities().sum() == pytest.approx(1.0)
+
+    def test_num_qubits(self):
+        assert QuantumState(np.ones(16)).num_qubits == 4
+
+    def test_fidelity_self_is_one(self):
+        s = QuantumState([1.0, 1.0, 0.0, 0.0])
+        assert s.fidelity(s) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal_is_zero(self):
+        a = QuantumState.basis(4, 0)
+        b = QuantumState.basis(4, 1)
+        assert a.fidelity(b) == pytest.approx(0.0)
+
+    def test_fidelity_dim_mismatch_raises(self):
+        with pytest.raises(DimensionError):
+            QuantumState.basis(4, 0).fidelity(QuantumState.basis(2, 0))
+
+    def test_overlap_complex(self):
+        a = QuantumState(np.array([1.0, 1j]) / np.sqrt(2), normalize=False)
+        b = QuantumState(np.array([1.0, -1j]) / np.sqrt(2), normalize=False)
+        assert abs(a.overlap(b)) == pytest.approx(0.0)
+
+    def test_tensor_dimensions(self):
+        t = QuantumState.uniform(2).tensor(QuantumState.uniform(4))
+        assert t.dim == 8
+        assert t.norm() == pytest.approx(1.0)
+
+    def test_basis_out_of_range(self):
+        with pytest.raises(DimensionError):
+            QuantumState.basis(4, 4)
+
+    def test_uniform_amplitudes(self):
+        s = QuantumState.uniform(8)
+        assert np.allclose(s.amplitudes, 1 / np.sqrt(8))
+
+    def test_amplitudes_readonly(self):
+        s = QuantumState([1.0, 0.0])
+        with pytest.raises(ValueError):
+            s.amplitudes[0] = 5.0
+
+    def test_equality(self):
+        assert QuantumState([1.0, 0.0]) == QuantumState([1.0, 0.0])
+        assert QuantumState([1.0, 0.0]) != QuantumState([0.0, 1.0])
+
+    def test_is_real_flag(self):
+        assert QuantumState([1.0, 0.0]).is_real
+        assert not QuantumState(np.array([1.0 + 0j, 0])).is_real
+
+    def test_to_batch_roundtrip(self):
+        s = QuantumState([0.6, 0.8])
+        b = s.to_batch()
+        assert b.num_states == 1
+        assert b.state(0) == s
+
+    @given(
+        arrays(
+            np.float64,
+            st.integers(2, 32),
+            elements=st.floats(-10, 10, allow_nan=False),
+        ).filter(lambda v: np.linalg.norm(v) > 1e-6)
+    )
+    def test_property_normalization(self, vec):
+        s = QuantumState(vec)
+        assert s.norm() == pytest.approx(1.0, abs=1e-10)
+        assert s.probabilities().sum() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestStateBatch:
+    def test_shape_properties(self, unit_batch):
+        b = StateBatch(unit_batch)
+        assert (b.dim, b.num_states) == (8, 5)
+
+    def test_normalize_columns(self, rng):
+        raw = rng.normal(size=(4, 3)) * 5
+        b = StateBatch(raw, normalize=True)
+        assert np.allclose(b.norms(), 1.0)
+
+    def test_zero_column_rejected_when_normalizing(self):
+        data = np.zeros((4, 2))
+        data[:, 0] = 1.0
+        with pytest.raises(NormalizationError, match="column 1"):
+            StateBatch(data, normalize=True)
+
+    def test_1d_rejected(self):
+        with pytest.raises(DimensionError):
+            StateBatch(np.ones(4))
+
+    def test_state_extraction(self, unit_batch):
+        b = StateBatch(unit_batch)
+        s = b.state(2)
+        assert np.allclose(s.amplitudes, unit_batch[:, 2])
+
+    def test_state_index_out_of_range(self, unit_batch):
+        with pytest.raises(DimensionError):
+            StateBatch(unit_batch).state(99)
+
+    def test_fidelities_self(self, unit_batch):
+        b = StateBatch(unit_batch)
+        assert np.allclose(b.fidelities(b), 1.0)
+
+    def test_fidelities_shape_mismatch(self, unit_batch):
+        b = StateBatch(unit_batch)
+        with pytest.raises(DimensionError):
+            b.fidelities(StateBatch(np.eye(4)))
+
+    def test_from_states(self):
+        batch = StateBatch.from_states(
+            [QuantumState.basis(4, i) for i in range(3)]
+        )
+        assert batch.num_states == 3
+        assert np.allclose(batch.data, np.eye(4)[:, :3])
+
+    def test_from_states_empty_raises(self):
+        with pytest.raises(DimensionError):
+            StateBatch.from_states([])
+
+    def test_iteration_yields_states(self, unit_batch):
+        states = list(StateBatch(unit_batch))
+        assert len(states) == 5
+        assert all(isinstance(s, QuantumState) for s in states)
+
+    def test_probabilities_shape(self, unit_batch):
+        assert StateBatch(unit_batch).probabilities().shape == (8, 5)
+
+    def test_copy_is_independent(self, unit_batch):
+        b = StateBatch(unit_batch)
+        c = b.copy()
+        c.data[0, 0] = 99.0
+        assert b.data[0, 0] != 99.0

@@ -1,0 +1,93 @@
+"""Tests for repro.simulator.unitary."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import DimensionError
+from repro.simulator.unitary import (
+    closest_unitary,
+    haar_random_unitary,
+    is_orthogonal,
+    is_unitary,
+    random_orthogonal,
+    unitarity_defect,
+)
+
+
+class TestHaarRandomUnitary:
+    def test_is_unitary(self, rng):
+        assert is_unitary(haar_random_unitary(8, rng))
+
+    def test_deterministic_with_seed(self):
+        a = haar_random_unitary(4, np.random.default_rng(1))
+        b = haar_random_unitary(4, np.random.default_rng(1))
+        assert np.allclose(a, b)
+
+    def test_invalid_dim(self):
+        with pytest.raises(DimensionError):
+            haar_random_unitary(0)
+
+    @given(st.integers(1, 12))
+    def test_property_unitary_all_dims(self, dim):
+        u = haar_random_unitary(dim, np.random.default_rng(dim))
+        assert unitarity_defect(u) < 1e-10
+
+
+class TestRandomOrthogonal:
+    def test_is_real_orthogonal(self, rng):
+        q = random_orthogonal(6, rng)
+        assert q.dtype == np.float64
+        assert is_orthogonal(q)
+
+    def test_special_has_det_one(self, rng):
+        for seed in range(5):
+            q = random_orthogonal(5, np.random.default_rng(seed), special=True)
+            assert np.linalg.det(q) == pytest.approx(1.0)
+
+    def test_invalid_dim(self):
+        with pytest.raises(DimensionError):
+            random_orthogonal(-2)
+
+
+class TestChecks:
+    def test_identity_is_unitary(self):
+        assert is_unitary(np.eye(5))
+
+    def test_scaled_identity_is_not(self):
+        assert not is_unitary(2 * np.eye(3))
+
+    def test_complex_matrix_not_orthogonal(self):
+        u = haar_random_unitary(4, np.random.default_rng(0))
+        # generic Haar unitary has nonzero imaginary part
+        assert not is_orthogonal(u)
+
+    def test_defect_rejects_non_square(self):
+        with pytest.raises(DimensionError):
+            unitarity_defect(np.zeros((2, 3)))
+
+    def test_defect_zero_for_unitary(self, rng):
+        assert unitarity_defect(haar_random_unitary(4, rng)) < 1e-12
+
+
+class TestClosestUnitary:
+    def test_projects_to_unitary(self, rng):
+        a = rng.normal(size=(5, 5))
+        u = closest_unitary(a)
+        assert is_unitary(u, atol=1e-9)
+
+    def test_unitary_is_fixed_point(self, rng):
+        q = random_orthogonal(4, rng)
+        assert np.allclose(closest_unitary(q), q, atol=1e-10)
+
+    def test_repairs_small_drift(self, rng):
+        q = random_orthogonal(6, rng)
+        drifted = q + 1e-8 * rng.normal(size=(6, 6))
+        repaired = closest_unitary(drifted)
+        assert unitarity_defect(repaired) < 1e-12
+        assert np.max(np.abs(repaired - q)) < 1e-7
+
+    def test_non_square_rejected(self):
+        with pytest.raises(DimensionError):
+            closest_unitary(np.zeros((3, 4)))

@@ -1,0 +1,189 @@
+"""Tests for repro.training.hardware (shot-based training + SPSA)."""
+
+import numpy as np
+import pytest
+
+from repro.data.binary_images import paper_dataset
+from repro.exceptions import MeasurementError, OptimizerError, TrainingError
+from repro.network.autoencoder import QuantumAutoencoder
+from repro.network.quantum_network import QuantumNetwork
+from repro.network.targets import TruncatedInputTarget
+from repro.training.hardware import (
+    SPSA,
+    ShotBasedObjective,
+    train_hardware_style,
+)
+
+
+@pytest.fixture
+def setup():
+    X = paper_dataset(num_samples=10).matrix()
+    ae = QuantumAutoencoder(16, 4, 4, 4).initialize(
+        "uniform", rng=np.random.default_rng(1)
+    )
+    enc = ae.codec.encode(X)
+    strat = TruncatedInputTarget.from_pca(ae.projection, X)
+    q = strat.targets(enc) ** 2
+    return ae, enc, q
+
+
+class TestShotBasedObjective:
+    def test_exact_mode_deterministic(self, setup):
+        ae, enc, q = setup
+        obj = ShotBasedObjective(
+            ae.uc, enc.amplitudes(), q,
+            projection=ae.projection, shots=None,
+        )
+        p = ae.uc.get_flat_params()
+        assert obj(p) == pytest.approx(obj(p))
+
+    def test_sampled_mode_noisy(self, setup):
+        ae, enc, q = setup
+        obj = ShotBasedObjective(
+            ae.uc, enc.amplitudes(), q,
+            projection=ae.projection, shots=64,
+            rng=np.random.default_rng(0),
+        )
+        p = ae.uc.get_flat_params()
+        assert obj(p) != obj(p)  # fresh shot noise per call
+
+    def test_shot_estimates_converge_to_exact(self, setup):
+        ae, enc, q = setup
+        p = ae.uc.get_flat_params()
+        exact = ShotBasedObjective(
+            ae.uc, enc.amplitudes(), q,
+            projection=ae.projection, shots=None,
+        )(p)
+        heavy = ShotBasedObjective(
+            ae.uc, enc.amplitudes(), q,
+            projection=ae.projection, shots=400_000,
+            rng=np.random.default_rng(2),
+        )(p)
+        assert heavy == pytest.approx(exact, abs=0.05)
+
+    def test_parameters_restored(self, setup):
+        ae, enc, q = setup
+        obj = ShotBasedObjective(
+            ae.uc, enc.amplitudes(), q,
+            projection=ae.projection, shots=None,
+        )
+        before = ae.uc.get_flat_params().copy()
+        obj(before + 0.3)
+        assert np.allclose(ae.uc.get_flat_params(), before)
+
+    def test_evaluation_counter(self, setup):
+        ae, enc, q = setup
+        obj = ShotBasedObjective(
+            ae.uc, enc.amplitudes(), q,
+            projection=ae.projection, shots=None,
+        )
+        p = ae.uc.get_flat_params()
+        obj(p), obj(p), obj(p)
+        assert obj.evaluations == 3
+
+    def test_validation(self, setup):
+        ae, enc, q = setup
+        with pytest.raises(TrainingError, match="target shape"):
+            ShotBasedObjective(ae.uc, enc.amplitudes(), q[:, :2])
+        with pytest.raises(TrainingError, match="\\[0, 1\\]"):
+            ShotBasedObjective(ae.uc, enc.amplitudes(), q * 5)
+        with pytest.raises(MeasurementError):
+            ShotBasedObjective(ae.uc, enc.amplitudes(), q, shots=0)
+        with pytest.raises(TrainingError, match="inputs must be"):
+            ShotBasedObjective(ae.uc, np.ones((4, 2)), np.ones((4, 2)) / 4)
+
+
+class TestSPSA:
+    def test_converges_on_quadratic(self):
+        opt = SPSA(a=0.2, c=0.1, rng=np.random.default_rng(0))
+        f = lambda p: float(np.sum(p**2))
+        p = np.array([3.0, -2.0, 1.0])
+        for _ in range(300):
+            p = opt.step(f, p)
+        assert np.linalg.norm(p) < 0.5
+
+    def test_two_evaluations_per_step(self):
+        calls = []
+        f = lambda p: calls.append(1) or float(np.sum(p**2))
+        opt = SPSA(rng=np.random.default_rng(1))
+        opt.step(f, np.zeros(5))
+        assert len(calls) == 2
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(3)
+        f = lambda p: float(np.sum(p**2)) + float(rng.normal(0, 0.05))
+        opt = SPSA(a=0.2, c=0.2, rng=np.random.default_rng(4))
+        p = np.array([2.0, 2.0])
+        for _ in range(400):
+            p = opt.step(f, p)
+        assert np.linalg.norm(p) < 1.0
+
+    def test_gain_sequences_decay(self):
+        """The ak/ck schedules shrink with k (Spall's conditions)."""
+        opt = SPSA(a=1.0, c=1.0, rng=np.random.default_rng(0))
+        f = lambda p: float(np.sum(p**2))
+        p = np.array([1.0])
+        for _ in range(5):
+            p = opt.step(f, p)
+        a0 = 1.0 / (1 + opt.stability) ** opt.alpha
+        ak = 1.0 / (opt.k + 1 + opt.stability) ** opt.alpha
+        ck = 1.0 / (opt.k + 1) ** opt.gamma
+        assert ak < a0
+        assert ck < 1.0
+
+    def test_nonfinite_objective_rejected(self):
+        opt = SPSA(rng=np.random.default_rng(0))
+        with pytest.raises(OptimizerError, match="non-finite"):
+            opt.step(lambda p: float("nan"), np.zeros(2))
+
+    def test_validation(self):
+        with pytest.raises(OptimizerError):
+            SPSA(a=0.0)
+        with pytest.raises(OptimizerError):
+            SPSA(c=-1.0)
+        with pytest.raises(OptimizerError):
+            SPSA(alpha=0.4)
+        with pytest.raises(OptimizerError):
+            SPSA(gamma=0.6)
+
+    def test_reset(self):
+        opt = SPSA(rng=np.random.default_rng(0))
+        opt.step(lambda p: 0.0, np.zeros(2))
+        opt.reset()
+        assert opt.k == 0
+
+
+class TestHardwareTraining:
+    def test_exact_shots_none_learns(self, setup):
+        ae, enc, q = setup
+        result = train_hardware_style(
+            ae, enc, q, iterations=100, shots=None, seed=5
+        )
+        assert result.num_iterations == 100
+        # Median of late losses below median of early losses.
+        early = float(np.median(result.loss_c[:10]))
+        late = float(np.median(result.loss_c[-10:]))
+        assert late < early
+
+    def test_finite_shots_learns(self, setup):
+        ae, enc, q = setup
+        result = train_hardware_style(
+            ae, enc, q, iterations=120, shots=4096, seed=6
+        )
+        early = float(np.median(result.loss_r[:15]))
+        late = float(np.median(result.loss_r[-15:]))
+        assert late < early
+
+    def test_measurement_budget_recorded(self, setup):
+        ae, enc, q = setup
+        result = train_hardware_style(
+            ae, enc, q, iterations=5, shots=128, seed=0
+        )
+        # 3 U_C evaluations (2 SPSA + 1 record) and 3 U_R per iteration.
+        assert result.total_measurement_rounds == 5 * 6
+        assert result.shots == 128
+
+    def test_invalid_iterations(self, setup):
+        ae, enc, q = setup
+        with pytest.raises(TrainingError):
+            train_hardware_style(ae, enc, q, iterations=0)

@@ -1,0 +1,73 @@
+"""Tests for repro.training.initializers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.training.initializers import (
+    available_initializers,
+    get_initializer,
+    register_initializer,
+)
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_initializers()
+        for expected in ("uniform", "zeros", "constant", "small",
+                         "perturbed-identity"):
+            assert expected in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_initializer("UNIFORM") is get_initializer("uniform")
+
+    def test_unknown_raises(self):
+        with pytest.raises(TrainingError, match="unknown initializer"):
+            get_initializer("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(TrainingError, match="already registered"):
+            register_initializer("uniform")(lambda n, rng=None: np.zeros(n))
+
+
+class TestBehaviour:
+    def test_uniform_range(self, rng):
+        out = get_initializer("uniform")(1000, rng=rng)
+        assert out.min() >= 0.0
+        assert out.max() < 2 * np.pi
+
+    def test_uniform_custom_range(self, rng):
+        out = get_initializer("uniform")(100, rng=rng, low=-1.0, high=1.0)
+        assert out.min() >= -1.0 and out.max() < 1.0
+
+    def test_uniform_invalid_range(self, rng):
+        with pytest.raises(TrainingError):
+            get_initializer("uniform")(10, rng=rng, low=1.0, high=0.0)
+
+    def test_zeros(self):
+        assert np.all(get_initializer("zeros")(5) == 0.0)
+
+    def test_constant_default_is_balanced_splitter(self):
+        out = get_initializer("constant")(3)
+        assert np.allclose(out, np.pi / 4)
+
+    def test_constant_nonfinite_rejected(self):
+        with pytest.raises(TrainingError):
+            get_initializer("constant")(3, value=np.inf)
+
+    def test_small_scale(self, rng):
+        out = get_initializer("small")(10000, rng=rng, scale=0.1)
+        assert abs(out.std() - 0.1) < 0.01
+
+    def test_small_invalid_scale(self, rng):
+        with pytest.raises(TrainingError):
+            get_initializer("small")(10, rng=rng, scale=0.0)
+
+    def test_perturbed_identity_near_zero(self, rng):
+        out = get_initializer("perturbed-identity")(100, rng=rng)
+        assert np.max(np.abs(out)) <= 1e-3
+
+    def test_deterministic_given_seed(self):
+        a = get_initializer("uniform")(8, rng=np.random.default_rng(1))
+        b = get_initializer("uniform")(8, rng=np.random.default_rng(1))
+        assert np.array_equal(a, b)

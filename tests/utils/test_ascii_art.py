@@ -1,0 +1,88 @@
+"""Tests for repro.utils.ascii_art."""
+
+import numpy as np
+import pytest
+
+from repro.utils.ascii_art import (
+    render_curve_ascii,
+    render_image_ascii,
+    render_table,
+)
+
+
+class TestRenderImage:
+    def test_binary_image_endpoints(self):
+        out = render_image_ascii(np.array([[0.0, 1.0]]))
+        assert "@@" in out
+        # dark pixel renders as (stripped) spaces
+        assert out.startswith("  ") or out.startswith("@@") is False
+
+    def test_row_count(self):
+        out = render_image_ascii(np.zeros((3, 2)))
+        assert len(out.split("\n")) == 3
+
+    def test_non_2d_raises(self):
+        with pytest.raises(ValueError, match="2-D"):
+            render_image_ascii(np.zeros(4))
+
+    def test_bad_range_raises(self):
+        with pytest.raises(ValueError, match="vmax"):
+            render_image_ascii(np.zeros((2, 2)), vmin=1.0, vmax=0.0)
+
+    def test_values_clipped(self):
+        out = render_image_ascii(np.array([[2.0, -1.0]]))
+        assert "@@" in out  # clipped to white
+
+
+class TestRenderCurve:
+    def test_contains_extreme_labels(self):
+        out = render_curve_ascii([0.0, 5.0, 10.0], width=20, height=5)
+        assert "10" in out and "0" in out
+
+    def test_title_included(self):
+        out = render_curve_ascii([1, 2], title="loss")
+        assert out.startswith("loss")
+
+    def test_constant_series_ok(self):
+        out = render_curve_ascii([3.0] * 10)
+        assert "*" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            render_curve_ascii([])
+
+    def test_logy_handles_zeros(self):
+        out = render_curve_ascii([1.0, 0.1, 0.0], logy=True)
+        assert "*" in out
+
+    def test_canvas_height(self):
+        out = render_curve_ascii([1, 2, 3], height=7, width=10)
+        plot_lines = [l for l in out.split("\n") if "|" in l]
+        assert len(plot_lines) == 7
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        out = render_table(
+            [{"Method": "QN", "Acc": "97.75%"}, {"Method": "CSC", "Acc": "93%"}]
+        )
+        lines = out.split("\n")
+        assert lines[0].startswith("Method")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_explicit_columns_subset(self):
+        out = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in out.split("\n")[0]
+
+    def test_missing_keys_blank(self):
+        out = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in out
+
+    def test_title_prepended(self):
+        out = render_table([{"x": 1}], title="TABLE")
+        assert out.startswith("TABLE")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            render_table([])

@@ -1,0 +1,80 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_context_manager_accumulates(self):
+        sw = Stopwatch()
+        with sw:
+            sum(range(1000))
+        assert sw.wall_seconds > 0
+        assert sw.laps == 1
+
+    def test_multiple_laps_accumulate(self):
+        sw = Stopwatch()
+        for _ in range(3):
+            with sw:
+                pass
+        assert sw.laps == 3
+
+    def test_stop_returns_lap_time(self):
+        sw = Stopwatch().start()
+        lap = sw.stop()
+        assert lap >= 0.0
+        assert lap == pytest.approx(sw.wall_seconds)
+
+    def test_double_start_raises(self):
+        sw = Stopwatch().start()
+        with pytest.raises(RuntimeError, match="already running"):
+            sw.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Stopwatch().stop()
+
+    def test_reset_clears_state(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.wall_seconds == 0.0
+        assert sw.cpu_seconds == 0.0
+        assert sw.laps == 0
+
+    def test_cpu_time_tracked(self):
+        sw = Stopwatch()
+        with sw:
+            total = 0
+            while sw.cpu_seconds == 0.0 and total < 50_000_000:
+                total += sum(i * i for i in range(200_000))
+                # poll the clock without stopping: process_time has coarse
+                # granularity on some kernels, so loop until it ticks
+                import time as _time
+
+                if _time.process_time() - sw._cpu_start > 0:
+                    break
+        assert sw.cpu_seconds >= 0.0
+        assert sw.laps == 1
+
+
+class TestTimed:
+    def test_timed_emits_label(self):
+        messages = []
+        with timed("step", sink=messages.append):
+            pass
+        assert len(messages) == 1
+        assert messages[0].startswith("step:")
+
+    def test_timed_yields_stopwatch(self):
+        with timed("x", sink=lambda _s: None) as sw:
+            assert isinstance(sw, Stopwatch)
+
+    def test_timed_reports_even_on_exception(self):
+        messages = []
+        with pytest.raises(ValueError):
+            with timed("boom", sink=messages.append):
+                raise ValueError("boom")
+        assert messages and messages[0].startswith("boom:")
