@@ -1,0 +1,188 @@
+"""The :class:`Backend` protocol and backend registry.
+
+A backend turns a compiled :class:`~repro.backends.program.GateProgram`
+into execution.  Backends are *bound* to one network at a time (binding
+compiles the program once); the network delegates every forward pass to its
+backend and notifies it via :meth:`Backend.invalidate` when parameters
+change, so backends may cache parameter-derived artefacts (fused unitaries,
+prefix/suffix products) between calls.
+
+Two backends ship with the package:
+
+``"loop"``
+    :class:`~repro.backends.loop.LoopBackend` — the bit-exact reference:
+    the original two-row Givens kernel applied gate by gate.
+``"fused"``
+    :class:`~repro.backends.fused.FusedBackend` — materialises the whole
+    network as one ``N x N`` unitary (cached per parameter set) and applies
+    it as a single GEMM; also provides the prefix/suffix gradient workspace
+    used to accelerate the ``fd``/``central``/``derivative`` methods.
+
+Select a backend at construction (``QuantumNetwork(..., backend="fused")``)
+or later via ``set_backend``; experiment configs and the CLI expose the same
+choice (``--backend``).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, List, Optional, Type, Union
+
+import numpy as np
+
+from repro.backends.program import GateProgram, compile_program
+from repro.exceptions import BackendError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.backends.cached import PrefixSuffixWorkspace
+    from repro.network.quantum_network import QuantumNetwork
+
+__all__ = [
+    "Backend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+    "validate_backend_name",
+]
+
+
+class Backend(abc.ABC):
+    """Execution engine for one bound :class:`QuantumNetwork`.
+
+    Subclasses implement :meth:`forward_inplace`; everything else has
+    working defaults.  A backend instance belongs to exactly one network
+    (``set_backend`` builds a fresh instance per network).
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    #: Whether :meth:`gradient_workspace` returns a usable workspace.
+    supports_cached_gradients: bool = False
+
+    def __init__(self) -> None:
+        self._network: Optional["QuantumNetwork"] = None
+        self._program: Optional[GateProgram] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, network: "QuantumNetwork") -> "Backend":
+        """Attach to ``network`` and compile its gate program."""
+        if self._network is not None and self._network is not network:
+            raise BackendError(
+                f"backend {self.name!r} is already bound; backends are "
+                "per-network — construct a new instance (or pass the "
+                "backend name) instead of sharing one"
+            )
+        self._network = network
+        self._program = compile_program(network)
+        self.invalidate()
+        return self
+
+    @property
+    def network(self) -> "QuantumNetwork":
+        if self._network is None:
+            raise BackendError(f"backend {self.name!r} is not bound")
+        return self._network
+
+    @property
+    def program(self) -> GateProgram:
+        if self._program is None:
+            raise BackendError(f"backend {self.name!r} is not bound")
+        return self._program
+
+    def spawn(self) -> "Backend":
+        """A fresh, unbound backend configured like this one.
+
+        Used when a network clones itself (``copy``/``reversed_structure``)
+        and needs an equivalent backend for the clone.  Backends whose
+        constructor takes configuration must override this to carry it
+        over.
+        """
+        return type(self)()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def forward_inplace(self, data: np.ndarray, inverse: bool = False) -> None:
+        """Apply the bound network (or its inverse) in place to ``(N, M)``."""
+
+    def invalidate(self) -> None:
+        """Drop parameter-derived caches (called on ``set_flat_params``)."""
+
+    def gradient_workspace(
+        self, inputs: np.ndarray
+    ) -> Optional["PrefixSuffixWorkspace"]:
+        """Prefix/suffix workspace for cached gradients, or ``None``.
+
+        Backends that return ``None`` fall back to the reference
+        re-execution path in :mod:`repro.training.gradients`.
+        """
+        return None
+
+    def __repr__(self) -> str:
+        bound = "bound" if self._network is not None else "unbound"
+        return f"{type(self).__name__}(name={self.name!r}, {bound})"
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, Type[Backend]] = {}
+
+
+def register_backend(cls: Type[Backend]) -> Type[Backend]:
+    """Class decorator adding a backend to the name registry."""
+    if not cls.name or cls.name == "abstract":
+        raise BackendError(f"backend class {cls.__name__} must set a name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Names accepted by :func:`make_backend` / ``set_backend``.
+
+    Examples
+    --------
+    >>> available_backends()
+    ['fused', 'loop']
+    """
+    return sorted(_REGISTRY)
+
+
+def make_backend(spec: Union[str, Backend, Type[Backend]]) -> Backend:
+    """Resolve a backend *specification* into a fresh, unbound instance.
+
+    Accepts a registry name (``"loop"``, ``"fused"``), a ``Backend``
+    subclass, or an existing unbound instance (passed through).
+    """
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Backend):
+        return spec()
+    key = str(spec).lower()
+    if key not in _REGISTRY:
+        raise BackendError(
+            f"unknown backend {spec!r}; available: {available_backends()}"
+        )
+    return _REGISTRY[key]()
+
+
+def validate_backend_name(
+    name: str, error_cls: Type[Exception] = BackendError
+) -> str:
+    """Check ``name`` against the registry; returns the normalised name.
+
+    The single source of truth for config/sweep-level validation — same
+    case-insensitive lookup and message as :func:`make_backend`, so the
+    registry and its error never drift apart.  Callers in higher layers
+    pass their own ``error_cls`` (e.g. ``ExperimentError``).
+    """
+    key = str(name).lower()
+    if key not in _REGISTRY:
+        raise error_cls(
+            f"unknown backend {name!r}; available: {available_backends()}"
+        )
+    return key

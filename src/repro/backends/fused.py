@@ -1,0 +1,139 @@
+"""Fused-unitary execution: one cached GEMM per forward pass.
+
+The loop backend costs ``num_layers * (N-1)`` Python-level kernel calls per
+forward pass regardless of batch width.  For inference and for the
+perturbative gradient methods the parameters are fixed across many passes,
+so the whole network can be *fused* once into a single ``N x N`` unitary
+``U = G_P ... G_1`` and every subsequent pass becomes one BLAS GEMM
+``U @ X`` (``U^dagger @ X`` for the inverse) — ``O(N^2 M)`` flops with no
+per-gate Python overhead.
+
+The cache is validated against the network's *current* flat parameter
+vector (not just the :meth:`invalidate` notification), so even direct
+mutation of ``layer.thetas`` is picked up on the next pass.  The backend
+also exposes per-layer unitaries (:meth:`FusedBackend.layer_unitaries`) and
+the prefix/suffix gradient workspace used by
+:mod:`repro.training.gradients` to turn ``O(P^2)`` finite-difference
+training into ``O(P)`` gate work.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.backends.base import Backend, register_backend
+from repro.backends.cached import PrefixSuffixWorkspace
+from repro.simulator.gates import apply_givens_batch
+from repro.exceptions import GateError
+
+__all__ = ["FusedBackend"]
+
+
+@register_backend
+class FusedBackend(Backend):
+    """Whole-network unitary materialisation with parameter-set caching.
+
+    Semantics match the loop backend to rounding (~1e-15): the fused
+    unitary is assembled with the same two-row kernels, only the
+    application to the batch is reassociated into one matrix product.
+    """
+
+    name = "fused"
+    supports_cached_gradients = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._unitary: Optional[np.ndarray] = None
+        self._layer_unitaries: Optional[List[np.ndarray]] = None
+        self._snapshot: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        self._unitary = None
+        self._layer_unitaries = None
+        self._snapshot = None
+
+    def _is_real(self) -> bool:
+        return all(layer.is_real for layer in self.network.layers)
+
+    def _refresh(self) -> None:
+        """Rebuild the fused unitary unless the parameter set is unchanged."""
+        params = self.network.get_flat_params()
+        if self._unitary is not None and np.array_equal(
+            params, self._snapshot
+        ):
+            return
+        prog = self.program
+        dtype = np.float64 if self._is_real() else np.complex128
+        u = np.eye(prog.dim, dtype=dtype)
+        # Parameter values come from the flat vector via the program's
+        # index columns — the GateProgram contract, no per-gate object
+        # traversal.
+        for g in range(prog.num_gates):
+            k = int(prog.modes[g])
+            alpha = (
+                float(params[prog.alpha_index[g]]) if prog.allow_phase else 0.0
+            )
+            apply_givens_batch(
+                u, k, float(params[prog.theta_index[g]]), alpha=alpha
+            )
+        self._unitary = u
+        self._layer_unitaries = None  # rebuilt lazily on request
+        self._snapshot = params
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def unitary(self) -> np.ndarray:
+        """The cached whole-network matrix ``G_P ... G_1`` (a copy)."""
+        self._refresh()
+        assert self._unitary is not None
+        return self._unitary.copy()
+
+    def layer_unitaries(self) -> List[np.ndarray]:
+        """Per-layer ``N x N`` unitaries, layer 0 first (copies).
+
+        Their right-to-left product equals :meth:`unitary`.  Built lazily
+        (inspection only) so training's per-iteration cache rebuilds pay
+        for the fused unitary alone.
+        """
+        self._refresh()
+        if self._layer_unitaries is None:
+            dtype = self._unitary.dtype if self._unitary is not None else None
+            layer_us = []
+            for layer in self.network.layers:
+                lu = np.eye(self.program.dim, dtype=dtype)
+                layer.apply_inplace(lu)
+                layer_us.append(lu)
+            self._layer_unitaries = layer_us
+        return [lu.copy() for lu in self._layer_unitaries]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def forward_inplace(self, data: np.ndarray, inverse: bool = False) -> None:
+        self._refresh()
+        u = self._unitary
+        assert u is not None
+        if np.iscomplexobj(u) and not np.iscomplexobj(data):
+            # Parity with the loop kernel's contract for phase-bearing
+            # networks on real buffers.
+            raise GateError(
+                "a non-zero phase alpha requires a complex state batch; the "
+                "paper's real network fixes alpha = 0 (Section III-A)"
+            )
+        if inverse:
+            mat = u.conj().T if np.iscomplexobj(u) else u.T
+        else:
+            mat = u
+        data[:] = mat @ data
+
+    # ------------------------------------------------------------------
+    # gradients
+    # ------------------------------------------------------------------
+    def gradient_workspace(self, inputs: np.ndarray) -> PrefixSuffixWorkspace:
+        return PrefixSuffixWorkspace(self.network, self.program, inputs)

@@ -17,6 +17,7 @@ __all__ = [
     "CircuitError",
     "ProjectionError",
     "NetworkConfigError",
+    "BackendError",
     "TrainingError",
     "GradientError",
     "OptimizerError",
@@ -67,6 +68,10 @@ class ProjectionError(ReproError, ValueError):
 
 class NetworkConfigError(ReproError, ValueError):
     """A quantum network was configured with invalid hyper-parameters."""
+
+
+class BackendError(ReproError, ValueError):
+    """An execution backend was misconfigured or requested by unknown name."""
 
 
 class TrainingError(ReproError, RuntimeError):

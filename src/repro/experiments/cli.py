@@ -21,6 +21,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.backends import available_backends
 from repro.experiments import ablations
 from repro.experiments.config import PaperConfig
 from repro.experiments.fig4 import run_fig4
@@ -70,6 +71,16 @@ def build_parser() -> argparse.ArgumentParser:
             default="adjoint",
             help="'fd' is the paper's finite differences (slow)",
         )
+        p.add_argument(
+            "--backend",
+            choices=available_backends(),
+            default="loop",
+            help=(
+                "execution backend: 'loop' is the bit-exact reference, "
+                "'fused' caches the network unitary and prefix/suffix "
+                "gradient products (fast)"
+            ),
+        )
         p.add_argument("--output", type=str, default=None,
                        help="write raw results to this JSON file")
 
@@ -94,6 +105,7 @@ def _config_from_args(args: argparse.Namespace) -> PaperConfig:
         seed=args.seed,
         optimizer=args.optimizer,
         gradient_method=args.gradient,
+        backend=args.backend,
     )
 
 

@@ -64,6 +64,7 @@ class PaperConfig:
     num_samples: int = 25              # M
     seed: int = 2024
     gradient_method: str = "adjoint"   # "fd" is the paper-faithful choice
+    backend: str = "loop"              # execution backend (repro.backends)
     optimizer: OptimizerName = "momentum"
     momentum: float = 0.9
     target: TargetName = "pca"
@@ -87,6 +88,9 @@ class PaperConfig:
             raise ExperimentError(f"unknown optimizer {self.optimizer!r}")
         if self.target not in ("pca", "restrict", "uniform"):
             raise ExperimentError(f"unknown target {self.target!r}")
+        from repro.backends import validate_backend_name
+
+        validate_backend_name(self.backend, ExperimentError)
 
     # ------------------------------------------------------------------
     @property
@@ -127,6 +131,7 @@ class PaperConfig:
             compression_layers=self.compression_layers,
             reconstruction_layers=self.reconstruction_layers,
             allow_phase=self.allow_phase,
+            backend=self.backend,
         )
         ae.initialize("uniform", rng=np.random.default_rng(self.seed))
         return ae
@@ -155,6 +160,7 @@ class PaperConfig:
             iterations=self.iterations,
             learning_rate=self.learning_rate,
             gradient_method=self.gradient_method,
+            backend=self.backend,
             optimizer_factory=factories[self.optimizer],
             trace_sample=self.trace_sample
             if self.trace_sample < self.num_samples

@@ -170,6 +170,10 @@ class QuantumAutoencoder:
         Optional explicit ``P1``; defaults to :meth:`Projection.last`.
     allow_phase:
         Enable the complex (trainable ``alpha``) extension.
+    backend:
+        Execution backend for both networks (``"loop"`` or ``"fused"``,
+        see :mod:`repro.backends`); switchable later via
+        :meth:`set_backend`.
 
     Examples
     --------
@@ -190,6 +194,7 @@ class QuantumAutoencoder:
         reconstruction_layers: int,
         projection: Optional[Projection] = None,
         allow_phase: bool = False,
+        backend: str = "loop",
     ) -> None:
         dim = check_power_of_two(dim, name="dim")
         if projection is None:
@@ -201,10 +206,18 @@ class QuantumAutoencoder:
             )
         self.codec = AmplitudeCodec(dim)
         self.uc = QuantumNetwork(
-            dim, compression_layers, descending=False, allow_phase=allow_phase
+            dim,
+            compression_layers,
+            descending=False,
+            allow_phase=allow_phase,
+            backend=backend,
         )
         self.ur = QuantumNetwork(
-            dim, reconstruction_layers, descending=True, allow_phase=allow_phase
+            dim,
+            reconstruction_layers,
+            descending=True,
+            allow_phase=allow_phase,
+            backend=backend,
         )
         self.compression = CompressionNetwork(self.uc, projection)
         self.reconstruction = ReconstructionNetwork(self.ur)
@@ -213,6 +226,17 @@ class QuantumAutoencoder:
     @property
     def dim(self) -> int:
         return self.codec.dim
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the execution backend bound to both networks."""
+        return self.uc.backend.name
+
+    def set_backend(self, backend: str) -> "QuantumAutoencoder":
+        """Swap the execution backend of both ``U_C`` and ``U_R``."""
+        self.uc.set_backend(backend)
+        self.ur.set_backend(backend)
+        return self
 
     @property
     def projection(self) -> Projection:

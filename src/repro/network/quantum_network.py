@@ -10,14 +10,20 @@ The class exposes a *flat parameter vector* interface (`get_flat_params` /
 plus a traced forward pass (`forward_trace`) that records, for every gate,
 the two state rows it consumed — the minimal tape needed for exact
 reverse-mode (adjoint) differentiation at ``O(1)`` extra memory per gate.
+
+Execution is delegated to a pluggable backend (:mod:`repro.backends`):
+``"loop"`` (the bit-exact per-gate reference) or ``"fused"`` (cached
+whole-network unitary applied as one GEMM, with prefix/suffix-cached
+gradients).  Select at construction or via :meth:`set_backend`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.backends import Backend, make_backend
 from repro.exceptions import DimensionError, NetworkConfigError
 from repro.network.layers import GateLayer
 from repro.simulator.circuit import Circuit
@@ -77,6 +83,10 @@ class QuantumNetwork:
         If True the network also carries trainable ``alpha`` phases (the
         complex extension of Section V); flat parameters are then the
         concatenation ``[thetas..., alphas...]``.
+    backend:
+        Execution backend — a registry name (``"loop"``, ``"fused"``), a
+        :class:`~repro.backends.Backend` subclass, or an unbound instance.
+        Defaults to the bit-exact ``"loop"`` reference.
 
     Examples
     --------
@@ -86,6 +96,8 @@ class QuantumNetwork:
     >>> u = net.unitary()
     >>> bool(np.allclose(u, np.eye(4)))  # zero-initialised -> identity
     True
+    >>> net.set_backend("fused").backend.name
+    'fused'
     """
 
     def __init__(
@@ -94,6 +106,7 @@ class QuantumNetwork:
         num_layers: int,
         descending: bool = False,
         allow_phase: bool = False,
+        backend: Union[str, Backend, type] = "loop",
     ) -> None:
         if not isinstance(num_layers, (int, np.integer)) or num_layers < 1:
             raise NetworkConfigError(
@@ -113,6 +126,26 @@ class QuantumNetwork:
             )
             for _ in range(self.num_layers)
         ]
+        self._backend: Backend = make_backend(backend).bind(self)
+
+    # ------------------------------------------------------------------
+    # execution backend
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> Backend:
+        """The bound execution backend."""
+        return self._backend
+
+    def set_backend(
+        self, backend: Union[str, Backend, type]
+    ) -> "QuantumNetwork":
+        """Swap the execution backend in place; returns ``self``.
+
+        Backends are per-network: passing a name or class builds a fresh
+        instance; passing an instance binds it to this network.
+        """
+        self._backend = make_backend(backend).bind(self)
+        return self
 
     # ------------------------------------------------------------------
     # parameter plumbing
@@ -160,6 +193,7 @@ class QuantumNetwork:
             for p, layer in enumerate(self.layers):
                 assert layer.alphas is not None
                 layer.alphas[:] = arr[off + p * g : off + (p + 1) * g]
+        self._backend.invalidate()
 
     def initialize(
         self,
@@ -187,11 +221,27 @@ class QuantumNetwork:
             )
 
     def forward_inplace(self, data: np.ndarray, inverse: bool = False) -> None:
-        """Apply all layers in place (layer 0 first; reversed for inverse)."""
+        """Apply all layers in place (layer 0 first; reversed for inverse).
+
+        Execution is delegated to the bound backend; the ``"loop"``
+        reference applies the compiled gate program gate by gate, other
+        backends may cache fused unitaries between calls.
+        """
         self._check_dim(data)
-        layers = reversed(self.layers) if inverse else self.layers
-        for layer in layers:
-            layer.apply_inplace(data, inverse=inverse)
+        self._backend.forward_inplace(data, inverse=inverse)
+
+    def result_dtype(self, data: np.ndarray) -> np.dtype:
+        """Dtype a forward pass on ``data`` produces.
+
+        Phase-bearing networks need a complex state matrix even for real
+        (amplitude-encoded) inputs; every execution path (forward, chunked
+        batching, gradient workspaces) promotes through this one rule.
+        """
+        return np.dtype(
+            np.complex128
+            if (self.allow_phase or np.iscomplexobj(data))
+            else np.float64
+        )
 
     def forward(
         self, data: np.ndarray | StateBatch, inverse: bool = False
@@ -203,14 +253,9 @@ class QuantumNetwork:
         """
         arr = data.data if isinstance(data, StateBatch) else np.asarray(data)
         squeeze = arr.ndim == 1
-        # Phase-bearing networks need a complex state matrix even for real
-        # (amplitude-encoded) inputs.
-        dtype = (
-            np.complex128
-            if (self.allow_phase or np.iscomplexobj(arr))
-            else np.float64
+        out = np.array(
+            arr.reshape(self.dim, -1), dtype=self.result_dtype(arr), copy=True
         )
-        out = np.array(arr.reshape(self.dim, -1), dtype=dtype, copy=True)
         self.forward_inplace(out, inverse=inverse)
         return out.ravel() if squeeze else out
 
@@ -280,6 +325,9 @@ class QuantumNetwork:
             self.num_layers,
             descending=not self.descending,
             allow_phase=self.allow_phase,
+            # spawn(), not the registry name: custom backends need not be
+            # registered, and configured backends carry their config over.
+            backend=self._backend.spawn(),
         )
 
     def copy(self) -> "QuantumNetwork":
@@ -288,6 +336,7 @@ class QuantumNetwork:
             self.num_layers,
             descending=self.descending,
             allow_phase=self.allow_phase,
+            backend=self._backend.spawn(),
         )
         clone.set_flat_params(self.get_flat_params())
         return clone
@@ -296,5 +345,6 @@ class QuantumNetwork:
         order = "descending" if self.descending else "ascending"
         return (
             f"QuantumNetwork(dim={self.dim}, num_layers={self.num_layers}, "
-            f"{order}, params={self.num_parameters})"
+            f"{order}, params={self.num_parameters}, "
+            f"backend={self._backend.name})"
         )

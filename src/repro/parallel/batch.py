@@ -31,7 +31,10 @@ def chunked_forward(
 
     Equivalent to ``network.forward(data)`` but with peak extra memory
     bounded by one ``(N, chunk_size)`` buffer; results are written into
-    ``out`` when provided (must be ``(N, M)`` float64, may alias nothing).
+    ``out`` when provided (must be ``(N, M)`` and able to hold the result
+    dtype, may alias nothing).  The result dtype follows the same rule as
+    ``network.forward``: complex when the input is complex or the network
+    carries phases (``allow_phase``), float64 otherwise.
 
     Examples
     --------
@@ -44,24 +47,30 @@ def chunked_forward(
     """
     if chunk_size < 1:
         raise DimensionError(f"chunk_size must be >= 1, got {chunk_size}")
-    arr = np.asarray(data, dtype=np.float64)
+    arr = np.asarray(data)
     if arr.ndim != 2 or arr.shape[0] != network.dim:
         raise DimensionError(
             f"data must be (N={network.dim}, M), got shape {arr.shape}"
         )
+    dtype = network.result_dtype(arr)
     n, m = arr.shape
     if out is None:
-        out = np.empty_like(arr)
+        out = np.empty(arr.shape, dtype=dtype)
     elif out.shape != arr.shape:
         raise DimensionError(
             f"out shape {out.shape} != data shape {arr.shape}"
+        )
+    elif not np.can_cast(dtype, out.dtype, casting="safe"):
+        raise DimensionError(
+            f"out buffer dtype {out.dtype} cannot safely hold the {dtype} "
+            "forward result"
         )
     for start in range(0, m, chunk_size):
         stop = min(start + chunk_size, m)
         # Explicit copy: ascontiguousarray would alias the input when the
         # chunk spans the whole (contiguous) batch, and forward_inplace
         # must never mutate the caller's data.
-        block = np.array(arr[:, start:stop], order="C", copy=True)
+        block = np.array(arr[:, start:stop], dtype=dtype, order="C", copy=True)
         network.forward_inplace(block)
         out[:, start:stop] = block
     return out
@@ -111,13 +120,22 @@ class ChunkedPipeline:
         return out
 
     def compact_codes(self, X: np.ndarray) -> np.ndarray:
-        """Compressed ``(d, M)`` codes, streamed."""
+        """Compressed ``(d, M)`` codes, streamed.
+
+        Codes are complex for phase-bearing (``allow_phase``) autoencoders
+        — the same dtype one full-batch ``forward`` would produce.
+        """
         mat = np.asarray(X, dtype=np.float64)
         if mat.ndim != 2:
             raise DimensionError(f"X must be (M, N), got shape {mat.shape}")
         m = mat.shape[0]
         d = self.autoencoder.compressed_dim
-        out = np.empty((d, m))
+        dtype = (
+            np.complex128
+            if self.autoencoder.uc.allow_phase
+            else np.float64
+        )
+        out = np.empty((d, m), dtype=dtype)
         for start in range(0, m, self.chunk_size):
             stop = min(start + self.chunk_size, m)
             result = self.autoencoder.forward(mat[start:stop])

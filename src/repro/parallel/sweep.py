@@ -81,6 +81,7 @@ def run_sweep(
     configs: Iterable[Mapping[str, Any]],
     processes: Optional[int] = None,
     base_seed: int = DEFAULT_SEED,
+    backend: Optional[str] = None,
 ) -> List[SweepResult]:
     """Evaluate ``worker(config, seed)`` for every configuration.
 
@@ -96,6 +97,12 @@ def run_sweep(
         debugging, required under coverage tools).
     base_seed:
         Root seed; every task gets an independent child seed.
+    backend:
+        Execution-backend name (see :mod:`repro.backends`) injected into
+        every configuration as ``config["backend"]`` unless the
+        configuration already pins one — workers that build networks or
+        :class:`~repro.experiments.config.PaperConfig` objects from the
+        config dict pick it up without sweep-axis boilerplate.
 
     Returns
     -------
@@ -104,6 +111,12 @@ def run_sweep(
     config_list = [dict(c) for c in configs]
     if not config_list:
         raise ExperimentError("run_sweep received no configurations")
+    if backend is not None:
+        from repro.backends import validate_backend_name
+
+        backend = validate_backend_name(backend, ExperimentError)
+        for cfg in config_list:
+            cfg.setdefault("backend", backend)
     seeds = _child_seeds(base_seed, len(config_list))
     payloads = list(zip(config_list, seeds))
     if processes is None:

@@ -203,12 +203,24 @@ class BeamsplitterGate:
     def inverse(self) -> "BeamsplitterGate":
         """Gate implementing ``T^dagger`` *as a fresh parameterised gate*.
 
-        For the real rotation the inverse is the rotation by ``-theta``;
-        complex gates additionally negate the phase (note the resulting gate
-        equals ``T(theta, alpha)^dagger`` only when ``alpha = 0`` — for
-        complex gates prefer ``apply(..., inverse=True)``).
+        For the real rotation the inverse is the rotation by ``-theta``.
+        No single beamsplitter ``T(theta', alpha')`` equals
+        ``T(theta, alpha)^dagger`` when ``alpha != 0`` (the dagger moves
+        the phase to the *row* of the block, outside this family), so
+        complex gates raise instead of silently returning a wrong gate —
+        use ``apply(..., inverse=True)`` for the exact adjoint.
+
+        Raises
+        ------
+        GateError
+            If ``alpha != 0``.
         """
-        return BeamsplitterGate(self.mode, -self.theta, -self.alpha)
+        if not self.is_real:
+            raise GateError(
+                "T(theta, alpha)^dagger is not a beamsplitter gate for "
+                "alpha != 0; apply the gate with inverse=True instead"
+            )
+        return BeamsplitterGate(self.mode, -self.theta)
 
     def with_theta(self, theta: float) -> "BeamsplitterGate":
         return BeamsplitterGate(self.mode, theta, self.alpha)

@@ -142,6 +142,12 @@ class Trainer:
         Snapshot period for theta trajectories (Fig. 4g); ``None`` disables.
     callbacks:
         Extra :class:`Callback` hooks; a :class:`NaNGuard` is always active.
+    backend:
+        Execution backend applied to both networks at the start of
+        :meth:`train` (``"loop"``, ``"fused"``, see :mod:`repro.backends`);
+        ``None`` keeps whatever backend the autoencoder already uses.  The
+        fused backend accelerates the perturbative gradient methods
+        (``fd``/``central``/``derivative``) via prefix/suffix caching.
 
     Examples
     --------
@@ -168,6 +174,7 @@ class Trainer:
         update_reduction: str = "sum",
         batch_size: Optional[int] = None,
         batch_seed: int = 0,
+        backend: Optional[str] = None,
     ) -> None:
         if iterations < 1:
             raise TrainingError(f"iterations must be >= 1, got {iterations}")
@@ -200,6 +207,7 @@ class Trainer:
         self._batch_rng = np.random.default_rng(batch_seed)
         self.callbacks: List[Callback] = [NaNGuard(), *callbacks]
         self.fd_delta = fd_delta
+        self.backend = backend
         # Eq. (7) defines the gradient on the *sum* loss (no normalisation);
         # Algorithm 1's pseudo-code divides by M*N, but with eta = 0.01 that
         # normalised form cannot reach the near-zero losses Fig. 4c shows in
@@ -215,6 +223,8 @@ class Trainer:
         target_strategy: Optional[CompressionTargetStrategy] = None,
     ) -> TrainingResult:
         """Run Algorithm 1 on classical data ``X`` (``(M, N)`` rows)."""
+        if self.backend is not None:
+            autoencoder.set_backend(self.backend)
         encoded = autoencoder.codec.encode(np.asarray(X, dtype=np.float64))
         if target_strategy is None:
             target_strategy = TruncatedInputTarget(autoencoder.projection)

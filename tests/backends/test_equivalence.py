@@ -1,0 +1,185 @@
+"""Backend-equivalence suite: loop vs fused must agree everywhere.
+
+The loop backend is the bit-exact reference (the seed implementation's
+kernels); the fused backend reassociates the same arithmetic into GEMMs,
+so outputs agree to rounding (~1e-15 per pass) but not bitwise.
+
+Gradient tolerances are per-method: the exact methods (``derivative``,
+``adjoint``) agree to 1e-12; the finite-difference methods carry their own
+cancellation noise floor of ``~ulp(loss)/delta`` — ``delta = 1e-8``
+(forward) and ``1e-6`` (central) put that floor near 1e-8 and 1e-10
+respectively, far above the backends' 1e-15 forward agreement, so those
+methods are compared at the floor, not at 1e-12.
+"""
+
+import numpy as np
+import pytest
+
+from repro.network import Projection, QuantumNetwork
+from repro.training.gradients import loss_and_gradient
+
+DIMS = [3, 5, 8]  # includes non-power-of-two dims
+GRAD_TOL = {
+    "fd": 1e-6,
+    "central": 1e-9,
+    "derivative": 1e-12,
+    "adjoint": 1e-12,
+}
+
+
+def make_network(dim, layers=3, descending=False, allow_phase=False, seed=11):
+    rng = np.random.default_rng(seed)
+    net = QuantumNetwork(
+        dim, layers, descending=descending, allow_phase=allow_phase
+    )
+    net.initialize("uniform", rng=rng)
+    if allow_phase:
+        params = net.get_flat_params()
+        params[net.num_thetas :] = 0.4 * rng.normal(size=net.num_thetas)
+        net.set_flat_params(params)
+    return net
+
+
+def loop_and_fused(dim, **kwargs):
+    net = make_network(dim, **kwargs)
+    return net, net.copy().set_backend("fused")
+
+
+def batch(dim, m=7, complex_=False, seed=5):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(dim, m))
+    if complex_:
+        x = x + 1j * rng.normal(size=(dim, m))
+    return x / np.linalg.norm(x, axis=0)
+
+
+@pytest.mark.parametrize("dim", DIMS)
+@pytest.mark.parametrize("descending", [False, True])
+class TestForwardEquivalence:
+    def test_forward_real(self, dim, descending):
+        loop, fused = loop_and_fused(dim, descending=descending)
+        x = batch(dim)
+        assert np.allclose(loop.forward(x), fused.forward(x), atol=1e-12)
+
+    def test_forward_complex_input(self, dim, descending):
+        loop, fused = loop_and_fused(dim, descending=descending)
+        x = batch(dim, complex_=True)
+        assert np.allclose(loop.forward(x), fused.forward(x), atol=1e-12)
+
+    def test_forward_allow_phase(self, dim, descending):
+        loop, fused = loop_and_fused(
+            dim, descending=descending, allow_phase=True
+        )
+        x = batch(dim)
+        out_loop = loop.forward(x)
+        out_fused = fused.forward(x)
+        assert np.iscomplexobj(out_loop) and np.iscomplexobj(out_fused)
+        assert np.allclose(out_loop, out_fused, atol=1e-12)
+
+    def test_inverse(self, dim, descending):
+        loop, fused = loop_and_fused(dim, descending=descending)
+        x = batch(dim)
+        assert np.allclose(
+            loop.forward(x, inverse=True),
+            fused.forward(x, inverse=True),
+            atol=1e-12,
+        )
+
+    def test_inverse_roundtrip(self, dim, descending):
+        _, fused = loop_and_fused(dim, descending=descending)
+        x = batch(dim)
+        assert np.allclose(
+            fused.forward(fused.forward(x), inverse=True), x, atol=1e-12
+        )
+
+    def test_inverse_allow_phase(self, dim, descending):
+        loop, fused = loop_and_fused(
+            dim, descending=descending, allow_phase=True
+        )
+        x = batch(dim, complex_=True)
+        assert np.allclose(
+            loop.forward(x, inverse=True),
+            fused.forward(x, inverse=True),
+            atol=1e-12,
+        )
+
+    def test_unitary(self, dim, descending):
+        loop, fused = loop_and_fused(dim, descending=descending)
+        assert np.allclose(loop.unitary(), fused.unitary(), atol=1e-12)
+
+    def test_single_column(self, dim, descending):
+        loop, fused = loop_and_fused(dim, descending=descending)
+        v = batch(dim, m=1).ravel()
+        assert np.allclose(loop.forward(v), fused.forward(v), atol=1e-12)
+
+
+@pytest.mark.parametrize("dim", DIMS)
+@pytest.mark.parametrize("descending", [False, True])
+def test_forward_trace_equivalence(dim, descending):
+    loop, fused = loop_and_fused(dim, descending=descending)
+    x = batch(dim)
+    t_loop = loop.forward_trace(x)
+    t_fused = fused.forward_trace(x)
+    assert np.array_equal(t_loop.output, t_fused.output)
+    assert np.array_equal(t_loop.row_tape, t_fused.row_tape)
+    assert np.array_equal(t_loop.gate_index, t_fused.gate_index)
+    assert np.array_equal(t_loop.modes, t_fused.modes)
+
+
+@pytest.mark.parametrize("method", sorted(GRAD_TOL))
+@pytest.mark.parametrize("dim", DIMS)
+@pytest.mark.parametrize("descending", [False, True])
+def test_gradient_equivalence_real(method, dim, descending):
+    loop, fused = loop_and_fused(dim, descending=descending)
+    x = batch(dim)
+    t = batch(dim, seed=6)
+    proj = Projection.last(dim, max(1, dim // 2))
+    l1, g1 = loss_and_gradient(loop, x, t, projection=proj, method=method)
+    l2, g2 = loss_and_gradient(fused, x, t, projection=proj, method=method)
+    assert l1 == pytest.approx(l2, abs=1e-12)
+    assert np.max(np.abs(g1 - g2)) < GRAD_TOL[method]
+
+
+@pytest.mark.parametrize("method", ["fd", "central", "derivative"])
+@pytest.mark.parametrize("dim", DIMS)
+def test_gradient_equivalence_complex(method, dim):
+    loop, fused = loop_and_fused(dim, allow_phase=True, descending=True)
+    x = batch(dim)
+    t = batch(dim, seed=6)
+    l1, g1 = loss_and_gradient(loop, x, t, method=method)
+    l2, g2 = loss_and_gradient(fused, x, t, method=method)
+    assert g1.shape == g2.shape == (2 * loop.num_thetas,)
+    assert l1 == pytest.approx(l2, abs=1e-12)
+    assert np.max(np.abs(g1 - g2)) < GRAD_TOL[method]
+
+
+@pytest.mark.parametrize("method", ["fd", "central", "derivative"])
+def test_cached_gradient_does_not_mutate_params(method):
+    _, fused = loop_and_fused(5)
+    before = fused.get_flat_params()
+    loss_and_gradient(fused, batch(5), batch(5, seed=6), method=method)
+    assert np.array_equal(fused.get_flat_params(), before)
+
+
+def test_cached_fd_matches_exact_gradient():
+    """Cached fd stays within fd's truncation error of the exact gradient."""
+    loop, fused = loop_and_fused(8, layers=4)
+    x = batch(8)
+    t = batch(8, seed=6)
+    _, exact = loss_and_gradient(loop, x, t, method="adjoint")
+    _, fd = loss_and_gradient(fused, x, t, method="fd")
+    assert np.max(np.abs(fd - exact)) < 1e-5
+
+
+def test_gradient_after_parameter_update():
+    """The workspace is rebuilt per evaluation — no stale caching."""
+    loop, fused = loop_and_fused(5)
+    x, t = batch(5), batch(5, seed=6)
+    loss_and_gradient(fused, x, t, method="derivative")
+    rng = np.random.default_rng(99)
+    new = rng.normal(size=loop.num_parameters)
+    loop.set_flat_params(new)
+    fused.set_flat_params(new)
+    _, g1 = loss_and_gradient(loop, x, t, method="derivative")
+    _, g2 = loss_and_gradient(fused, x, t, method="derivative")
+    assert np.max(np.abs(g1 - g2)) < 1e-12

@@ -51,6 +51,45 @@ class TestChunkedForward:
         chunked_forward(net, x, chunk_size=2)
         assert np.all(x == 1.0)
 
+    def test_complex_input_preserved(self, rng):
+        """Regression: complex inputs used to crash on float64 coercion."""
+        net = QuantumNetwork(4, 2).initialize("uniform", rng=rng)
+        x = rng.normal(size=(4, 11)) + 1j * rng.normal(size=(4, 11))
+        out = chunked_forward(net, x, chunk_size=3)
+        assert np.iscomplexobj(out)
+        assert np.allclose(out, net.forward(x))
+
+    def test_allow_phase_network_promotes_real_input(self, rng):
+        """Regression: phase networks need complex chunks for real data."""
+        net = QuantumNetwork(4, 2, allow_phase=True)
+        params = rng.normal(size=net.num_parameters) * 0.4
+        net.set_flat_params(params)
+        x = rng.normal(size=(4, 9))
+        out = chunked_forward(net, x, chunk_size=4)
+        assert np.iscomplexobj(out)
+        assert np.allclose(out, net.forward(x))
+
+    def test_real_out_buffer_rejected_for_complex_result(self, rng):
+        net = QuantumNetwork(4, 2, allow_phase=True)
+        net.set_flat_params(rng.normal(size=net.num_parameters))
+        with pytest.raises(DimensionError, match="complex"):
+            chunked_forward(net, np.ones((4, 3)), out=np.empty((4, 3)))
+
+    def test_lossy_out_buffer_rejected(self, rng):
+        net = QuantumNetwork(4, 2).initialize("uniform", rng=rng)
+        with pytest.raises(DimensionError, match="cannot safely hold"):
+            chunked_forward(
+                net, np.ones((4, 3)), out=np.empty((4, 3), dtype=np.int64)
+            )
+
+    def test_complex_out_buffer_accepted(self, rng):
+        net = QuantumNetwork(4, 2).initialize("uniform", rng=rng)
+        x = rng.normal(size=(4, 5)) + 1j * rng.normal(size=(4, 5))
+        out = np.empty((4, 5), dtype=np.complex128)
+        result = chunked_forward(net, x, chunk_size=2, out=out)
+        assert result is out
+        assert np.allclose(out, net.forward(x))
+
 
 class TestChunkedPipeline:
     @pytest.fixture
@@ -76,3 +115,23 @@ class TestChunkedPipeline:
     def test_1d_input_rejected(self, ae):
         with pytest.raises(DimensionError):
             ChunkedPipeline(ae).reconstruct(np.ones(4))
+
+    def test_allow_phase_codes_keep_imaginary_part(self, rng):
+        """Regression: complex codes were written into a float64 buffer."""
+        ae = QuantumAutoencoder(4, 2, 2, 2, allow_phase=True)
+        ae.uc.set_flat_params(rng.normal(size=ae.uc.num_parameters) * 0.5)
+        ae.ur.set_flat_params(rng.normal(size=ae.ur.num_parameters) * 0.5)
+        X = np.abs(rng.normal(size=(12, 4))) + 0.1
+        codes = ChunkedPipeline(ae, chunk_size=5).compact_codes(X)
+        direct = ae.forward(X).compact_codes
+        assert np.iscomplexobj(codes)
+        assert np.any(np.abs(codes.imag) > 1e-12)
+        assert np.allclose(codes, direct)
+
+    def test_allow_phase_reconstruct(self, rng):
+        ae = QuantumAutoencoder(4, 2, 2, 2, allow_phase=True)
+        ae.uc.set_flat_params(rng.normal(size=ae.uc.num_parameters) * 0.5)
+        ae.ur.set_flat_params(rng.normal(size=ae.ur.num_parameters) * 0.5)
+        X = np.abs(rng.normal(size=(12, 4))) + 0.1
+        chunked = ChunkedPipeline(ae, chunk_size=5).reconstruct(X)
+        assert np.allclose(chunked, ae.forward(X).x_hat)

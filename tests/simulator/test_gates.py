@@ -118,6 +118,17 @@ class TestBeamsplitterGate:
             g.inverse().matrix2() @ g.matrix2(), np.eye(2)
         )
 
+    def test_inverse_complex_gate_raises(self):
+        """Regression: T(-theta, -alpha) is not the dagger for alpha != 0."""
+        g = BeamsplitterGate(0, 0.6, alpha=1.1)
+        with pytest.raises(GateError, match="inverse=True"):
+            g.inverse()
+        # The would-be "inverse" really is wrong — document the reason:
+        wrong = BeamsplitterGate(0, -0.6, alpha=-1.1).matrix2()
+        assert not np.allclose(wrong @ g.matrix2(), np.eye(2))
+        # while the dagger applied via the kernel is exact:
+        assert np.allclose(np.conj(g.matrix2().T) @ g.matrix2(), np.eye(2))
+
     def test_with_theta(self):
         g = BeamsplitterGate(1, 0.1, alpha=0.0)
         g2 = g.with_theta(0.9)
