@@ -68,7 +68,21 @@ class Backend(abc.ABC):
     # lifecycle
     # ------------------------------------------------------------------
     def bind(self, network: "QuantumNetwork") -> "Backend":
-        """Attach to ``network`` and compile its gate program."""
+        """Attach to ``network`` and compile its gate program.
+
+        Called by ``QuantumNetwork.set_backend``; binding twice to the
+        same network is a no-op, re-binding to another network raises.
+
+        Examples
+        --------
+        >>> from repro.network.quantum_network import QuantumNetwork
+        >>> backend = make_backend("loop")
+        >>> net = QuantumNetwork(4, 2, backend=backend)  # binds internally
+        >>> backend.program.num_gates
+        6
+        >>> backend.network is net
+        True
+        """
         if self._network is not None and self._network is not network:
             raise BackendError(
                 f"backend {self.name!r} is already bound; backends are "
@@ -107,7 +121,20 @@ class Backend(abc.ABC):
     # ------------------------------------------------------------------
     @abc.abstractmethod
     def forward_inplace(self, data: np.ndarray, inverse: bool = False) -> None:
-        """Apply the bound network (or its inverse) in place to ``(N, M)``."""
+        """Apply the bound network (or its inverse) in place to ``(N, M)``.
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.network.quantum_network import QuantumNetwork
+        >>> net = QuantumNetwork(3, 1, backend="loop")
+        >>> data = np.eye(3)
+        >>> net.backend.forward_inplace(data)           # U @ I
+        >>> round_trip = data.copy()
+        >>> net.backend.forward_inplace(round_trip, inverse=True)
+        >>> bool(np.allclose(round_trip, np.eye(3)))
+        True
+        """
 
     def invalidate(self) -> None:
         """Drop parameter-derived caches (called on ``set_flat_params``)."""
@@ -118,7 +145,20 @@ class Backend(abc.ABC):
         """Prefix/suffix workspace for cached gradients, or ``None``.
 
         Backends that return ``None`` fall back to the reference
-        re-execution path in :mod:`repro.training.gradients`.
+        re-execution path in :mod:`repro.training.gradients`; backends
+        that return a workspace additionally serve the batched gradient
+        engine (see ``docs/gradients.md``).
+
+        Examples
+        --------
+        >>> import numpy as np
+        >>> from repro.network.quantum_network import QuantumNetwork
+        >>> loop = QuantumNetwork(4, 2, backend="loop")
+        >>> print(loop.backend.gradient_workspace(np.eye(4)))
+        None
+        >>> fused = QuantumNetwork(4, 2, backend="fused")
+        >>> fused.backend.gradient_workspace(np.eye(4))
+        PrefixSuffixWorkspace(gates=6, N=4, M=4, dtype=float64)
         """
         return None
 
@@ -157,6 +197,19 @@ def make_backend(spec: Union[str, Backend, Type[Backend]]) -> Backend:
 
     Accepts a registry name (``"loop"``, ``"fused"``), a ``Backend``
     subclass, or an existing unbound instance (passed through).
+
+    Examples
+    --------
+    >>> make_backend("fused")
+    FusedBackend(name='fused', unbound)
+    >>> from repro.backends.loop import LoopBackend
+    >>> make_backend(LoopBackend)
+    LoopBackend(name='loop', unbound)
+    >>> make_backend("quantum-annealer")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.BackendError: unknown backend 'quantum-annealer'; \
+available: ['fused', 'loop']
     """
     if isinstance(spec, Backend):
         return spec

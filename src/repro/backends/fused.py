@@ -14,7 +14,9 @@ mutation of ``layer.thetas`` is picked up on the next pass.  The backend
 also exposes per-layer unitaries (:meth:`FusedBackend.layer_unitaries`) and
 the prefix/suffix gradient workspace used by
 :mod:`repro.training.gradients` to turn ``O(P^2)`` finite-difference
-training into ``O(P)`` gate work.
+training into ``O(P)`` gate work — and, through the workspace's batched
+methods, into ``O(num_layers)`` batched contractions per gradient when
+the ``"batched"`` engine drives it (see ``docs/gradients.md``).
 """
 
 from __future__ import annotations

@@ -121,6 +121,17 @@ def compile_program(network: "QuantumNetwork") -> GateProgram:
     The application order matches ``QuantumNetwork.forward_inplace``
     exactly: layer 0 first, gates within each layer in the layer's
     ``mode_sequence`` order (ascending or descending).
+
+    Examples
+    --------
+    >>> from repro.network.quantum_network import QuantumNetwork
+    >>> prog = compile_program(QuantumNetwork(4, 2))
+    >>> prog
+    GateProgram(dim=4, num_layers=2, num_gates=6, allow_phase=False)
+    >>> prog.modes.tolist()  # ascending order within each layer
+    [0, 1, 2, 0, 1, 2]
+    >>> prog.layer_index.tolist()
+    [0, 0, 0, 1, 1, 1]
     """
     dim = network.dim
     g_per_layer = dim - 1

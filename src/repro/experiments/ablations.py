@@ -266,16 +266,14 @@ def complex_network_study(
 ) -> List[Dict[str, Any]]:
     """Section V extension: real network vs trainable-phase (alpha) network.
 
-    The complex network differentiates via the exact derivative-gate
-    method (the adjoint tape is real-only).
+    Both variants train with the configured gradient method — the adjoint
+    tape pulls back through ``G^dagger``, so the complex network no longer
+    needs the slower derivative-gate fallback.
     """
     cfg = config or PaperConfig()
     records = []
     for allow_phase in (False, True):
-        sub = cfg.with_(
-            allow_phase=allow_phase,
-            gradient_method="derivative" if allow_phase else cfg.gradient_method,
-        )
+        sub = cfg.with_(allow_phase=allow_phase)
         out = _train_once(sub)
         records.append(
             {

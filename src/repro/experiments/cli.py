@@ -23,6 +23,10 @@ import numpy as np
 
 from repro.backends import available_backends
 from repro.experiments import ablations
+from repro.training.gradients import (
+    DEFAULT_GRADIENT_ENGINE,
+    available_gradient_engines,
+)
 from repro.experiments.config import PaperConfig
 from repro.experiments.fig4 import run_fig4
 from repro.experiments.fig5 import run_fig5
@@ -56,6 +60,24 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce 'Image Compression and Reconstruction Based on "
             "Quantum Network' (IPPS 2024)"
         ),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "execution options (shared by every experiment):\n"
+            "  --backend      'loop' is the bit-exact reference; 'fused' "
+            "caches the\n"
+            "                 network unitary and the prefix/suffix gradient "
+            "workspace.\n"
+            "  --grad-engine  how workspace-backed gradients are driven: "
+            "'batched'\n"
+            "                 (default) stacks each layer's parameter "
+            "perturbations into\n"
+            "                 single einsums; 'looped' perturbs one "
+            "parameter at a time\n"
+            "                 and is the bit-exact reference. Only active "
+            "with a caching\n"
+            "                 backend (--backend fused). See "
+            "docs/gradients.md.\n"
+        ),
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
@@ -79,6 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
                 "execution backend: 'loop' is the bit-exact reference, "
                 "'fused' caches the network unitary and prefix/suffix "
                 "gradient products (fast)"
+            ),
+        )
+        p.add_argument(
+            "--grad-engine",
+            choices=available_gradient_engines(),
+            default=DEFAULT_GRADIENT_ENGINE,
+            help=(
+                "gradient workspace drive: 'batched' stacks a layer's "
+                "perturbations into one einsum, 'looped' is the "
+                "per-parameter reference (see epilog)"
             ),
         )
         p.add_argument("--output", type=str, default=None,
@@ -106,6 +138,7 @@ def _config_from_args(args: argparse.Namespace) -> PaperConfig:
         optimizer=args.optimizer,
         gradient_method=args.gradient,
         backend=args.backend,
+        grad_engine=args.grad_engine,
     )
 
 

@@ -65,6 +65,7 @@ class PaperConfig:
     seed: int = 2024
     gradient_method: str = "adjoint"   # "fd" is the paper-faithful choice
     backend: str = "loop"              # execution backend (repro.backends)
+    grad_engine: str = "batched"       # workspace drive: batched | looped
     optimizer: OptimizerName = "momentum"
     momentum: float = 0.9
     target: TargetName = "pca"
@@ -89,8 +90,10 @@ class PaperConfig:
         if self.target not in ("pca", "restrict", "uniform"):
             raise ExperimentError(f"unknown target {self.target!r}")
         from repro.backends import validate_backend_name
+        from repro.training.gradients import validate_gradient_engine
 
         validate_backend_name(self.backend, ExperimentError)
+        validate_gradient_engine(self.grad_engine, ExperimentError)
 
     # ------------------------------------------------------------------
     @property
@@ -151,16 +154,12 @@ class PaperConfig:
             "momentum": lambda: MomentumGD(self.learning_rate, self.momentum),
             "adam": lambda: Adam(self.learning_rate * 5.0),
         }
-        if self.allow_phase and self.gradient_method == "adjoint":
-            raise ExperimentError(
-                "complex networks require gradient_method='derivative' or "
-                "a finite-difference method"
-            )
         return Trainer(
             iterations=self.iterations,
             learning_rate=self.learning_rate,
             gradient_method=self.gradient_method,
             backend=self.backend,
+            grad_engine=self.grad_engine,
             optimizer_factory=factories[self.optimizer],
             trace_sample=self.trace_sample
             if self.trace_sample < self.num_samples

@@ -27,6 +27,7 @@ from repro.backends import Backend, make_backend
 from repro.exceptions import DimensionError, NetworkConfigError
 from repro.network.layers import GateLayer
 from repro.simulator.circuit import Circuit
+from repro.simulator.gates import apply_givens_batch
 from repro.simulator.state import StateBatch
 from repro.utils.rng import ensure_rng
 
@@ -262,23 +263,23 @@ class QuantumNetwork:
     def forward_trace(self, data: np.ndarray) -> ForwardTrace:
         """Forward pass recording the two-row tape for adjoint gradients.
 
-        Only supported for real networks (the paper's setting); the complex
-        extension differentiates via the derivative-gate method instead.
+        The tape dtype follows :meth:`result_dtype`: real (paper setting)
+        networks on real inputs record a float64 tape, phase-bearing
+        (``allow_phase``) networks and complex inputs a complex128 one —
+        the adjoint gradient consumes either (pulling back through
+        ``G^dagger`` in the complex case).
         """
-        if self.allow_phase and not all(l.is_real for l in self.layers):
-            raise NetworkConfigError(
-                "forward_trace supports real networks only; use the "
-                "'derivative' gradient method for complex networks"
-            )
         self._check_dim(data)
+        dtype = self.result_dtype(data)
         m = data.shape[1]
         total = self.num_thetas
-        row_tape = np.empty((total, 2, m), dtype=np.float64)
+        row_tape = np.empty((total, 2, m), dtype=dtype)
         gate_index = np.empty((total, 2), dtype=np.int64)
         modes = np.empty(total, dtype=np.int64)
-        out = np.array(data, dtype=np.float64, copy=True)
+        out = np.array(data, dtype=dtype, copy=True)
         g = 0
         for p, layer in enumerate(self.layers):
+            alphas = layer.alphas
             for k in layer.mode_sequence():
                 k = int(k)
                 row_tape[g, 0] = out[k]
@@ -286,11 +287,12 @@ class QuantumNetwork:
                 gate_index[g, 0] = p
                 gate_index[g, 1] = k
                 modes[g] = k
-                c = np.cos(layer.thetas[k])
-                s = np.sin(layer.thetas[k])
-                rk = out[k].copy()
-                out[k] = c * rk - s * out[k + 1]
-                out[k + 1] = s * rk + c * out[k + 1]
+                apply_givens_batch(
+                    out,
+                    k,
+                    float(layer.thetas[k]),
+                    alpha=0.0 if alphas is None else float(alphas[k]),
+                )
                 g += 1
         return ForwardTrace(out, row_tape, gate_index, modes)
 

@@ -16,14 +16,15 @@ against target amplitudes:
     Exact forward-mode: re-runs the circuit with gate ``g`` replaced by its
     parameter derivative (for the real Givens gate,
     ``dG/dtheta = G(theta + pi/2)`` restricted to the 2x2 block and zero
-    elsewhere).  Exact to float64; cost ``num_params + 1`` passes.  The only
-    analytic method available for complex (``alpha``-trainable) networks.
+    elsewhere).  Exact to float64; cost ``num_params + 1`` passes.
 ``"adjoint"``
     Exact reverse-mode using the two-row tape recorded by
     :meth:`QuantumNetwork.forward_trace`: one forward pass + one backward
     sweep for *all* parameters.  This is the fast path (``O(P)`` total gate
     work instead of ``O(P^2)``) and is bit-identical to ``"derivative"`` up
-    to rounding.  Real networks only.
+    to rounding.  Supports complex (``allow_phase``) networks: the sweep
+    pulls the adjoint back through ``G^dagger`` and reads off both the
+    ``theta`` and ``alpha`` gradients from the same tape.
 
 All methods share the signature of :func:`loss_and_gradient`; the trainer
 selects by name so benchmarks can ablate the choice (exp id ``abl-grad``).
@@ -39,6 +40,26 @@ parameters and agrees with the re-execution path up to the method's own
 rounding floor (exactly for ``derivative``; within the finite-difference
 cancellation noise ``~ulp(loss)/delta`` for ``fd``/``central``).  The
 ``"loop"`` backend always takes the bit-exact re-execution path.
+
+**Engines.**  The workspace-backed methods come in two drive modes,
+selected by ``engine`` (CLI ``--grad-engine``):
+
+``"batched"`` (default)
+    Stacks all of a layer's parameter perturbations into single einsums
+    over the cached prefix/suffix arrays
+    (:meth:`PrefixSuffixWorkspace.perturbed_outputs` /
+    :meth:`~repro.backends.cached.PrefixSuffixWorkspace.derivative_gradients`)
+    and scores them with one vectorised :meth:`Loss.value_many` call —
+    ``O(num_layers)`` batched contractions per gradient.
+``"looped"``
+    The PR-1 reference: one parameter at a time through the same
+    workspace.  Bit-exact anchor for the batched path; agreement is
+    ``<= 1e-8`` for every method (``benchmarks/bench_gradients.py`` gates
+    this and a ``>= 3x`` speedup at the paper's configuration).
+
+The engine choice only affects workspace-backed evaluations; the
+re-execution fallback and ``adjoint`` ignore it.  See ``docs/gradients.md``
+for the full method x backend x engine matrix.
 """
 
 from __future__ import annotations
@@ -55,8 +76,12 @@ from repro.training.loss import Loss, SquaredErrorLoss
 
 __all__ = [
     "GradientMethod",
+    "GradientEngine",
     "loss_and_gradient",
     "available_gradient_methods",
+    "available_gradient_engines",
+    "validate_gradient_engine",
+    "DEFAULT_GRADIENT_ENGINE",
     "PAPER_DELTA",
 ]
 
@@ -64,8 +89,38 @@ __all__ = [
 PAPER_DELTA: float = 1e-8
 
 GradientMethod = str
+GradientEngine = str
 
 GradFn = Callable[..., Tuple[float, np.ndarray]]
+
+_ENGINES = ("batched", "looped")
+
+#: Engine used when ``engine=None``: the layer-batched einsum drive.
+DEFAULT_GRADIENT_ENGINE: GradientEngine = "batched"
+
+
+def available_gradient_engines() -> list[str]:
+    """Engine names accepted by :func:`loss_and_gradient` (``engine=...``)."""
+    return sorted(_ENGINES)
+
+
+def validate_gradient_engine(
+    name: Optional[str], error_cls: type = GradientError
+) -> GradientEngine:
+    """Normalise and check an engine name (``None`` -> the default).
+
+    The single source of truth for trainer/config/CLI-level validation;
+    higher layers pass their own ``error_cls``.
+    """
+    if name is None:
+        return DEFAULT_GRADIENT_ENGINE
+    key = str(name).lower()
+    if key not in _ENGINES:
+        raise error_cls(
+            f"unknown gradient engine {name!r}; available: "
+            f"{available_gradient_engines()}"
+        )
+    return key
 
 
 def _projected_output(
@@ -108,7 +163,7 @@ def _project_and_eval(
     return loss.value(out, targets)
 
 
-def _cached_difference_grad(
+def _looped_difference_grad(
     ws,
     num_params: int,
     targets: np.ndarray,
@@ -117,7 +172,7 @@ def _cached_difference_grad(
     delta: float,
     central: bool,
 ) -> Tuple[float, np.ndarray]:
-    """Shared workspace-backed stencil for the fd/central methods."""
+    """Workspace-backed stencil, one parameter at a time (the reference)."""
     base = _project_and_eval(ws.base_output.copy(), targets, loss, projection)
     grad = np.empty(num_params)
     for i in range(num_params):
@@ -134,6 +189,61 @@ def _cached_difference_grad(
     return base, grad
 
 
+def _batched_difference_grad(
+    ws,
+    num_params: int,
+    targets: np.ndarray,
+    loss: Loss,
+    projection: Optional[Projection],
+    delta: float,
+    central: bool,
+) -> Tuple[float, np.ndarray]:
+    """Workspace-backed stencil, one batched contraction per chunk.
+
+    Each chunk from :meth:`PrefixSuffixWorkspace.param_chunks` (whole
+    layers, merged under a memory budget) produces the stack of perturbed
+    outputs in two batched contractions — restricted to the projection's
+    kept rows when training with ``P1`` — scored by one
+    :meth:`Loss.value_many` call: ``O(num_layers)`` python-level steps per
+    gradient instead of ``O(P)``.
+    """
+    keep = projection.mask if projection is not None else None
+    base = _project_and_eval(ws.base_output.copy(), targets, loss, projection)
+    grad = np.empty(num_params)
+    for idx in ws.param_chunks():
+        plus = loss.value_many(
+            ws.perturbed_outputs(idx, delta, keep=keep), targets, keep=keep
+        )
+        if central:
+            minus = loss.value_many(
+                ws.perturbed_outputs(idx, -delta, keep=keep),
+                targets,
+                keep=keep,
+            )
+            grad[idx] = (plus - minus) / (2.0 * delta)
+        else:
+            grad[idx] = (plus - base) / delta
+    return base, grad
+
+
+def _difference_grad(
+    ws,
+    engine: GradientEngine,
+    num_params: int,
+    targets: np.ndarray,
+    loss: Loss,
+    projection: Optional[Projection],
+    delta: float,
+    central: bool,
+) -> Tuple[float, np.ndarray]:
+    fn = (
+        _batched_difference_grad
+        if engine == "batched"
+        else _looped_difference_grad
+    )
+    return fn(ws, num_params, targets, loss, projection, delta, central)
+
+
 def _loss_and_grad_fd(
     network: QuantumNetwork,
     inputs: np.ndarray,
@@ -141,13 +251,14 @@ def _loss_and_grad_fd(
     loss: Loss,
     projection: Optional[Projection],
     delta: float,
+    engine: GradientEngine,
 ) -> Tuple[float, np.ndarray]:
     """Forward finite differences (Eq. 8 of the paper)."""
     ws = _workspace_or_none(network, inputs)
     if ws is not None:
-        return _cached_difference_grad(
-            ws, network.num_parameters, targets, loss, projection, delta,
-            central=False,
+        return _difference_grad(
+            ws, engine, network.num_parameters, targets, loss, projection,
+            delta, central=False,
         )
     params = network.get_flat_params()
     base = _evaluate(network, inputs, targets, loss, projection)
@@ -173,13 +284,14 @@ def _loss_and_grad_central(
     loss: Loss,
     projection: Optional[Projection],
     delta: float,
+    engine: GradientEngine,
 ) -> Tuple[float, np.ndarray]:
     """Central finite differences (second-order accurate)."""
     ws = _workspace_or_none(network, inputs)
     if ws is not None:
-        return _cached_difference_grad(
-            ws, network.num_parameters, targets, loss, projection, delta,
-            central=True,
+        return _difference_grad(
+            ws, engine, network.num_parameters, targets, loss, projection,
+            delta, central=True,
         )
     params = network.get_flat_params()
     base = _evaluate(network, inputs, targets, loss, projection)
@@ -245,6 +357,62 @@ def _forward_with_derivative_gate(
     return data
 
 
+def _workspace_loss_and_adjoint(
+    ws,
+    targets: np.ndarray,
+    loss: Loss,
+    projection: Optional[Projection],
+) -> Tuple[float, np.ndarray]:
+    """Base loss and (projected) output-side adjoint from a workspace."""
+    out = ws.base_output.copy()
+    if projection is not None:
+        projection.apply_inplace(out)
+    base = loss.value(out, targets)
+    lam = loss.dvalue(out, targets)
+    if projection is not None:
+        lam = projection.apply(lam)
+    return base, lam
+
+
+def _looped_derivative_grad(
+    ws,
+    num_params: int,
+    targets: np.ndarray,
+    loss: Loss,
+    projection: Optional[Projection],
+) -> Tuple[float, np.ndarray]:
+    """Exact forward-mode over the workspace, one parameter at a time."""
+    base, lam = _workspace_loss_and_adjoint(ws, targets, loss, projection)
+    grad = np.zeros(num_params)
+    for i in range(num_params):
+        dout = ws.derivative_output(i)
+        if projection is not None:
+            projection.apply_inplace(dout)
+        grad[i] = float(np.real(np.sum(np.conj(lam) * dout)))
+    return base, grad
+
+
+def _batched_derivative_grad(
+    ws,
+    num_params: int,
+    targets: np.ndarray,
+    loss: Loss,
+    projection: Optional[Projection],
+) -> Tuple[float, np.ndarray]:
+    """Exact forward-mode, one suffix-folded contraction per layer.
+
+    ``lam`` is already projected, and the projection is a diagonal 0/1
+    mask, so ``<P lam, P dout> == <P lam, dout>`` — the derivative stacks
+    never need masking (or materialising; see
+    :meth:`PrefixSuffixWorkspace.derivative_gradients`).
+    """
+    base, lam = _workspace_loss_and_adjoint(ws, targets, loss, projection)
+    grad = np.empty(num_params)
+    for idx in ws.param_chunks():
+        grad[idx] = ws.derivative_gradients(idx, lam)
+    return base, grad
+
+
 def _loss_and_grad_derivative(
     network: QuantumNetwork,
     inputs: np.ndarray,
@@ -252,24 +420,17 @@ def _loss_and_grad_derivative(
     loss: Loss,
     projection: Optional[Projection],
     delta: float,  # unused; kept for signature parity
+    engine: GradientEngine,
 ) -> Tuple[float, np.ndarray]:
     """Exact forward-mode via per-parameter derivative-gate passes."""
     ws = _workspace_or_none(network, inputs)
     if ws is not None:
-        out = ws.base_output.copy()
-        if projection is not None:
-            projection.apply_inplace(out)
-        base = loss.value(out, targets)
-        lam = loss.dvalue(out, targets)
-        if projection is not None:
-            lam = projection.apply(lam)
-        grad = np.zeros(network.num_parameters)
-        for i in range(network.num_parameters):
-            dout = ws.derivative_output(i)
-            if projection is not None:
-                projection.apply_inplace(dout)
-            grad[i] = float(np.real(np.sum(np.conj(lam) * dout)))
-        return base, grad
+        fn = (
+            _batched_derivative_grad
+            if engine == "batched"
+            else _looped_derivative_grad
+        )
+        return fn(ws, network.num_parameters, targets, loss, projection)
     out = _projected_output(network, inputs, projection)
     base = loss.value(out, targets)
     lam = loss.dvalue(out, targets)
@@ -305,48 +466,92 @@ def _loss_and_grad_adjoint(
     loss: Loss,
     projection: Optional[Projection],
     delta: float,  # unused; kept for signature parity
+    engine: GradientEngine,  # unused; adjoint is already O(P) total
 ) -> Tuple[float, np.ndarray]:
     """Exact reverse-mode: one traced forward + one backward sweep.
 
     For gate ``g`` at modes ``(k, k+1)`` with pre-gate rows ``(r0, r1)`` the
-    parameter gradient is ``<lambda, dG (r0, r1)>`` where ``lambda`` is the
-    adjoint at the gate *output*; the adjoint is then pulled back through
-    ``G^T`` before moving to the previous gate.
+    parameter gradient is ``Re <lambda, dG (r0, r1)>`` where ``lambda`` is
+    the adjoint at the gate *output*; the adjoint is then pulled back
+    through ``G^dagger`` (``G^T`` for the paper's real network) before
+    moving to the previous gate.  Complex (``allow_phase``) networks read
+    both the ``theta`` and ``alpha`` gradients off the same tape.
     """
-    if network.allow_phase:
-        raise GradientError(
-            "adjoint gradients support real networks only; use "
-            "method='derivative' for complex networks"
-        )
-    if np.iscomplexobj(inputs):
-        raise GradientError("adjoint gradients require real-valued inputs")
-    trace = network.forward_trace(np.asarray(inputs, dtype=np.float64))
+    trace = network.forward_trace(np.asarray(inputs))
     out = trace.output
     if projection is not None:
         out = projection.apply(out)
     base = loss.value(out, targets)
-    lam = np.array(loss.dvalue(out, targets), dtype=np.float64, copy=True)
+    lam = loss.dvalue(out, targets)
+    if np.iscomplexobj(lam) and not np.iscomplexobj(trace.row_tape):
+        # Real tape: the imaginary part of the adjoint cannot propagate
+        # (grad = Re<lam, dout> with real dout), so drop it explicitly.
+        lam = np.real(lam)
+    lam = np.array(lam, dtype=trace.row_tape.dtype, copy=True)
     if projection is not None:
         projection.apply_inplace(lam)
 
-    grad = np.zeros(network.num_thetas)
+    if not np.iscomplexobj(trace.row_tape):
+        # Real fast path — bit-identical to the pre-complex implementation.
+        grad = np.zeros(network.num_thetas)
+        g_per_layer = network.gates_per_layer
+        thetas = network.theta_matrix
+        for g in range(trace.modes.size - 1, -1, -1):
+            p = int(trace.gate_index[g, 0])
+            k = int(trace.gate_index[g, 1])
+            theta = thetas[p, k]
+            c, s = math.cos(theta), math.sin(theta)
+            r0 = trace.row_tape[g, 0]
+            r1 = trace.row_tape[g, 1]
+            l0 = lam[k].copy()  # copy: lam[k] is a view we overwrite below
+            l1 = lam[k + 1]
+            # dG rows: [-s*r0 - c*r1, c*r0 - s*r1]
+            grad[p * g_per_layer + k] = float(
+                np.dot(l0, -s * r0 - c * r1) + np.dot(l1, c * r0 - s * r1)
+            )
+            # Pull the adjoint back through G^T = [[c, s], [-s, c]].
+            lam[k] = c * l0 + s * l1
+            lam[k + 1] = -s * l0 + c * l1
+        return base, grad
+
+    # Complex path: gates are T(theta, alpha); the adjoint pulls back
+    # through G^dagger = [[e^{-ia} c, e^{-ia} s], [-s, c]].
+    allow_phase = network.allow_phase
+    grad = np.zeros(network.num_parameters)
     g_per_layer = network.gates_per_layer
     thetas = network.theta_matrix
+    off = network.num_thetas
+    layers = network.layers
     for g in range(trace.modes.size - 1, -1, -1):
         p = int(trace.gate_index[g, 0])
         k = int(trace.gate_index[g, 1])
         theta = thetas[p, k]
         c, s = math.cos(theta), math.sin(theta)
+        alphas = layers[p].alphas
+        alpha = 0.0 if alphas is None else float(alphas[k])
+        phase = complex(math.cos(alpha), math.sin(alpha))
         r0 = trace.row_tape[g, 0]
         r1 = trace.row_tape[g, 1]
-        l0 = lam[k].copy()  # copy: lam[k] is a view we are about to overwrite
+        l0 = lam[k].copy()  # copy: lam[k] is a view we overwrite below
         l1 = lam[k + 1]
-        # dG rows: [-s*r0 - c*r1, c*r0 - s*r1]
+        # dG/dtheta rows: [-e^{ia} s r0 - c r1, e^{ia} c r0 - s r1]
         grad[p * g_per_layer + k] = float(
-            np.dot(l0, -s * r0 - c * r1) + np.dot(l1, c * r0 - s * r1)
+            np.real(
+                np.sum(np.conj(l0) * (-phase * s * r0 - c * r1))
+                + np.sum(np.conj(l1) * (phase * c * r0 - s * r1))
+            )
         )
-        # Pull the adjoint back through G^T = [[c, s], [-s, c]].
-        lam[k] = c * l0 + s * l1
+        if allow_phase:
+            # dG/dalpha rows: [i e^{ia} c r0, i e^{ia} s r0]
+            dphase = 1j * phase
+            grad[off + p * g_per_layer + k] = float(
+                np.real(
+                    np.sum(np.conj(l0) * (dphase * c * r0))
+                    + np.sum(np.conj(l1) * (dphase * s * r0))
+                )
+            )
+        pc = phase.conjugate()
+        lam[k] = pc * (c * l0 + s * l1)
         lam[k + 1] = -s * l0 + c * l1
     return base, grad
 
@@ -379,6 +584,7 @@ def loss_and_gradient(
     projection: Optional[Projection] = None,
     method: GradientMethod = "adjoint",
     delta: Optional[float] = None,
+    engine: Optional[GradientEngine] = None,
 ) -> Tuple[float, np.ndarray]:
     """Compute ``(loss, dL/dparams)`` for ``loss(P(U(params) inputs), targets)``.
 
@@ -403,6 +609,12 @@ def loss_and_gradient(
     delta:
         FD step; defaults to the paper's ``1e-8`` for ``"fd"`` and ``1e-6``
         for ``"central"``; ignored by the exact methods.
+    engine:
+        How workspace-backed evaluations are driven: ``"batched"`` (the
+        default, layer-stacked einsums) or ``"looped"`` (one parameter at
+        a time, the bit-exact reference).  Ignored by ``"adjoint"`` and by
+        the re-execution fallback (networks whose backend lacks
+        ``supports_cached_gradients``).
 
     Examples
     --------
@@ -421,6 +633,7 @@ def loss_and_gradient(
             f"unknown gradient method {method!r}; available: "
             f"{available_gradient_methods()}"
         )
+    eng = validate_gradient_engine(engine)
     arr = np.asarray(inputs)
     tgt = np.asarray(targets)
     if arr.ndim != 2 or arr.shape[0] != network.dim:
@@ -440,4 +653,4 @@ def loss_and_gradient(
     step = _DEFAULT_DELTAS[key] if delta is None else float(delta)
     if key in ("fd", "central") and step <= 0:
         raise GradientError(f"delta must be positive for {key!r}, got {step}")
-    return _METHODS[key](network, arr, tgt, loss, projection, step)
+    return _METHODS[key](network, arr, tgt, loss, projection, step, eng)

@@ -60,6 +60,39 @@ class Loss(abc.ABC):
     def dvalue(self, output: np.ndarray, target: np.ndarray) -> np.ndarray:
         """``dL/d(output)`` with the same shape as ``output``."""
 
+    def value_many(
+        self,
+        outputs: np.ndarray,
+        target: np.ndarray,
+        keep: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """Vectorised :meth:`value` over a stacked ``(K, N, M)`` batch.
+
+        Used by the batched gradient engine
+        (:mod:`repro.training.gradients`) to score all of a layer's
+        perturbed outputs against one target in a single call.
+
+        When ``keep`` (a boolean ``(N,)`` mask) is given, ``outputs`` is
+        the *restricted* ``(K, d, M)`` stack holding only the kept rows of
+        projected outputs whose discarded rows are identically zero (the
+        form :meth:`PrefixSuffixWorkspace.perturbed_outputs` produces);
+        ``target`` stays full-size.  The default implementation embeds the
+        restricted rows back into zero-padded full outputs and loops over
+        the leading axis; subclasses override with fully vectorised
+        reductions.
+        """
+        outs = np.asarray(outputs)
+        if keep is not None:
+            mask = np.asarray(keep, dtype=bool)
+            full = np.zeros(
+                (outs.shape[0], mask.size) + outs.shape[2:], dtype=outs.dtype
+            )
+            full[:, mask] = outs
+            outs = full
+        return np.array(
+            [self.value(outs[k], target) for k in range(outs.shape[0])]
+        )
+
 
 class SquaredErrorLoss(Loss):
     """Eq. (5): complete square variance over amplitudes.
@@ -103,6 +136,35 @@ class SquaredErrorLoss(Loss):
         _check_pair(output, target)
         return 2.0 * (output - target) * self._scale(output)
 
+    def value_many(
+        self,
+        outputs: np.ndarray,
+        target: np.ndarray,
+        keep: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        outs = np.asarray(outputs)
+        tgt = np.asarray(target)
+        rest = 0.0
+        if keep is not None:
+            # Restricted stacks: the discarded rows of the (projected)
+            # outputs are zero, so they contribute a constant |target|^2.
+            mask = np.asarray(keep, dtype=bool)
+            dropped = tgt[~mask]
+            rest = float(np.real(np.vdot(dropped, dropped)))
+            tgt = tgt[mask]
+        if outs.ndim != tgt.ndim + 1 or outs.shape[1:] != tgt.shape:
+            raise DimensionError(
+                f"stacked outputs shape {outs.shape} incompatible with "
+                f"target shape {tgt.shape}"
+            )
+        diff = outs - tgt[None, ...]
+        axes = tuple(range(1, diff.ndim))
+        if np.iscomplexobj(diff):
+            totals = np.sum(np.abs(diff) ** 2, axis=axes)
+        else:
+            totals = np.sum(diff * diff, axis=axes)
+        return (totals + rest) * self._scale(np.asarray(target))
+
 
 class FidelityLoss(Loss):
     """``L = sum_i (1 - |<out_i|target_i>|^2)`` — infidelity objective.
@@ -142,14 +204,34 @@ class FidelityLoss(Loss):
         out = self._columns(output)
         tgt = self._columns(target)
         overlaps = np.einsum("nm,nm->m", np.conj(tgt), out)  # <t|o> per col
-        # d/d(out) of -|<t|o>|^2 = -2 * conj(<t|o>) ... for real arrays this
-        # reduces to -2 <t|o> t.
-        grad = -2.0 * tgt * np.conj(overlaps)[None, :]
+        # Gradient convention: dL = Re <conj(lam), d out>.  With
+        # L = -|<t|o>|^2, dL = -2 Re(conj(<t|o>) <t|d o>), so
+        # lam = -2 <t|o> t (no conjugate on the overlap); for real arrays
+        # this reduces to -2 <t|o> t either way.
+        grad = -2.0 * tgt * overlaps[None, :]
         if not np.iscomplexobj(output):
             grad = np.real(grad)
         if self.reduction == "mean":
             grad = grad / out.shape[1]
         return grad.reshape(output.shape)
+
+    def value_many(
+        self,
+        outputs: np.ndarray,
+        target: np.ndarray,
+        keep: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        outs = np.asarray(outputs)
+        tgt = self._columns(np.asarray(target))
+        if keep is not None:
+            # Zero rows of the projected output drop out of the overlap,
+            # so restricting the target to the kept rows is exact.
+            tgt = tgt[np.asarray(keep, dtype=bool)]
+        if outs.ndim != 3 or outs.shape[1:] != tgt.shape:
+            return super().value_many(outputs, target, keep=keep)
+        overlaps = np.einsum("nm,pnm->pm", np.conj(tgt), outs)
+        totals = np.sum(1.0 - np.abs(overlaps) ** 2, axis=1)
+        return totals / tgt.shape[1] if self.reduction == "mean" else totals
 
 
 def compression_loss(

@@ -30,7 +30,10 @@ from repro.network.targets import (
     TruncatedInputTarget,
 )
 from repro.training.callbacks import Callback, NaNGuard
-from repro.training.gradients import loss_and_gradient
+from repro.training.gradients import (
+    loss_and_gradient,
+    validate_gradient_engine,
+)
 from repro.training.loss import SquaredErrorLoss
 from repro.training.metrics import paper_accuracy, pixel_accuracy
 from repro.training.optimizers import GradientDescent, Optimizer
@@ -148,6 +151,12 @@ class Trainer:
         ``None`` keeps whatever backend the autoencoder already uses.  The
         fused backend accelerates the perturbative gradient methods
         (``fd``/``central``/``derivative``) via prefix/suffix caching.
+    grad_engine:
+        How workspace-backed gradient evaluations are driven:
+        ``"batched"`` (layer-stacked einsums, the default) or ``"looped"``
+        (per-parameter reference); ``None`` uses the default.  Only
+        meaningful with a caching backend — see
+        :func:`repro.training.gradients.loss_and_gradient`.
 
     Examples
     --------
@@ -175,6 +184,7 @@ class Trainer:
         batch_size: Optional[int] = None,
         batch_seed: int = 0,
         backend: Optional[str] = None,
+        grad_engine: Optional[str] = None,
     ) -> None:
         if iterations < 1:
             raise TrainingError(f"iterations must be >= 1, got {iterations}")
@@ -208,6 +218,13 @@ class Trainer:
         self.callbacks: List[Callback] = [NaNGuard(), *callbacks]
         self.fd_delta = fd_delta
         self.backend = backend
+        # Validate eagerly (same registry as loss_and_gradient) so a typo
+        # fails at construction, not mid-training.
+        self.grad_engine = (
+            None
+            if grad_engine is None
+            else validate_gradient_engine(grad_engine, TrainingError)
+        )
         # Eq. (7) defines the gradient on the *sum* loss (no normalisation);
         # Algorithm 1's pseudo-code divides by M*N, but with eta = 0.01 that
         # normalised form cannot reach the near-zero losses Fig. 4c shows in
@@ -283,6 +300,7 @@ class Trainer:
             projection=projection,
             method=self.gradient_method,
             delta=self.fd_delta,
+            engine=self.grad_engine,
         )
         params = network.get_flat_params()
         network.set_flat_params(optimizer.step(params, grad))

@@ -121,13 +121,16 @@ class TestErrorParity:
 
 
 class TestWorkspace:
-    def test_base_output_bit_matches_loop_forward(self):
+    def test_base_output_matches_loop_forward(self):
+        # The workspace assembles the forward pass from per-layer GEMMs
+        # (vectorised construction), so it agrees with the loop kernel to
+        # rounding rather than bitwise.
         net = make_net()
         x = np.random.default_rng(3).normal(size=(5, 6))
         ws = net.backend.gradient_workspace(x)
         loop = QuantumNetwork(5, 3)
         loop.set_flat_params(net.get_flat_params())
-        assert np.array_equal(ws.base_output, loop.forward(x))
+        assert np.allclose(ws.base_output, loop.forward(x), atol=1e-14)
 
     def test_perturbed_output_matches_full_rerun(self):
         net = make_net()

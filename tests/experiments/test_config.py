@@ -50,10 +50,16 @@ class TestValidation:
         with pytest.raises(ExperimentError):
             PaperConfig(target="identity")
 
-    def test_complex_plus_adjoint_rejected_at_build(self):
+    def test_complex_plus_adjoint_builds(self):
+        # The adjoint sweep handles allow_phase networks (pull-back
+        # through G^dagger), so this combination is no longer rejected.
         cfg = PaperConfig(allow_phase=True, gradient_method="adjoint")
-        with pytest.raises(ExperimentError, match="derivative"):
-            cfg.build_trainer()
+        trainer = cfg.build_trainer()
+        assert trainer.gradient_method == "adjoint"
+
+    def test_invalid_grad_engine(self):
+        with pytest.raises(ExperimentError, match="gradient engine"):
+            PaperConfig(grad_engine="vectorised")
 
 
 class TestFactories:

@@ -155,11 +155,20 @@ class TestForwardTrace:
         assert np.allclose(trace.row_tape[0, 0], x[k])
         assert np.allclose(trace.row_tape[0, 1], x[k + 1])
 
-    def test_complex_network_trace_raises(self, rng):
+    def test_complex_network_trace(self, rng):
         net = QuantumNetwork(4, 2, allow_phase=True)
         net.set_flat_params(rng.uniform(0.1, 1.0, net.num_parameters))
-        with pytest.raises(NetworkConfigError, match="real networks"):
-            net.forward_trace(np.eye(4))
+        trace = net.forward_trace(np.eye(4))
+        assert np.iscomplexobj(trace.output)
+        assert np.iscomplexobj(trace.row_tape)
+        assert np.allclose(trace.output, net.forward(np.eye(4)))
+
+    def test_complex_input_trace(self, rng):
+        net = QuantumNetwork(4, 2).initialize("uniform", rng=rng)
+        x = rng.normal(size=(4, 3)) + 1j * rng.normal(size=(4, 3))
+        trace = net.forward_trace(x)
+        assert np.iscomplexobj(trace.output)
+        assert np.allclose(trace.output, net.forward(x))
 
 
 class TestStructure:

@@ -162,18 +162,48 @@ class TestValidation:
         with pytest.raises(GradientError, match="unknown gradient method"):
             loss_and_gradient(net, x, t, method="magic")
 
-    def test_adjoint_rejects_complex_network(self):
-        net = QuantumNetwork(4, 1, allow_phase=True)
-        net.set_flat_params(np.full(net.num_parameters, 0.3))
-        with pytest.raises(GradientError, match="real networks"):
-            loss_and_gradient(net, np.eye(4), np.eye(4), method="adjoint")
+    def test_adjoint_supports_complex_network(self):
+        rng = np.random.default_rng(5)
+        net = QuantumNetwork(4, 2, allow_phase=True)
+        net.set_flat_params(rng.uniform(0.1, 1.0, net.num_parameters))
+        x = np.eye(4)[:, :3]
+        t = np.eye(4)[:, 1:4]
+        _, g_adj = loss_and_gradient(net, x, t, method="adjoint")
+        _, g_der = loss_and_gradient(net, x, t, method="derivative")
+        assert g_adj.shape == (net.num_parameters,)
+        assert np.allclose(g_adj, g_der, atol=1e-12)
 
-    def test_adjoint_rejects_complex_inputs(self):
+    def test_fidelity_loss_complex_gradient_fd_check(self):
+        """Regression: the fidelity adjoint lam is -2<t|o>t, not its
+        conjugate — wrong conjugation only shows up for complex states."""
+        rng = np.random.default_rng(8)
+        net = QuantumNetwork(4, 3, allow_phase=True)
+        net.set_flat_params(rng.uniform(0.1, 1.0, net.num_parameters))
+        x = np.eye(4)[:, :3]
+        t = rng.normal(size=(4, 3)) + 1j * rng.normal(size=(4, 3))
+        t /= np.linalg.norm(t, axis=0)
+        loss = FidelityLoss("sum")
+        _, g_adj = loss_and_gradient(net, x, t, loss=loss, method="adjoint")
+        _, g_der = loss_and_gradient(
+            net, x, t, loss=loss, method="derivative"
+        )
+        _, g_fd = loss_and_gradient(
+            net, x, t, loss=loss, method="central", delta=1e-6
+        )
+        assert np.allclose(g_adj, g_fd, atol=1e-6)
+        assert np.allclose(g_der, g_fd, atol=1e-6)
+
+    def test_adjoint_supports_complex_inputs(self):
         net, x, t = make_problem()
-        with pytest.raises(GradientError, match="real-valued"):
-            loss_and_gradient(
-                net, x.astype(complex), t, method="adjoint"
-            )
+        xc = x.astype(complex)
+        _, g_adj = loss_and_gradient(net, xc, t, method="adjoint")
+        _, g_der = loss_and_gradient(net, xc, t, method="derivative")
+        assert np.allclose(g_adj, g_der, atol=1e-12)
+
+    def test_unknown_engine(self):
+        net, x, t = make_problem()
+        with pytest.raises(GradientError, match="unknown gradient engine"):
+            loss_and_gradient(net, x, t, engine="vectorised")
 
     def test_shape_mismatch(self):
         net, x, t = make_problem()

@@ -1,0 +1,115 @@
+"""Documentation checker: doctest the docs and verify intra-repo links.
+
+Two independent checks over ``README.md`` and ``docs/*.md`` (or any file
+list given on the command line):
+
+1. **Doctests** — every fenced ```` ```python ```` block containing
+   ``>>>`` examples is executed with :mod:`doctest`.  Blocks within one
+   file share a namespace (so a later block may use names a former block
+   defined), exactly like a module docstring would.
+2. **Links** — every relative markdown link ``[text](target)`` must
+   resolve to an existing file or directory inside the repository
+   (anchors are stripped; ``http(s)://``, ``mailto:`` and pure-anchor
+   links are ignored).
+
+Exit status is non-zero if any block fails or any link is broken — the
+CI ``docs`` job runs this after the unit suite.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py            # README + docs/
+    PYTHONPATH=src python tools/check_docs.py docs/gradients.md
+"""
+
+from __future__ import annotations
+
+import doctest
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_CODE_BLOCK = re.compile(r"```python\n(.*?)```", re.DOTALL)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "#")
+
+
+def default_files() -> List[Path]:
+    files = []
+    readme = REPO_ROOT / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return files
+
+
+def doctest_blocks(path: Path) -> Tuple[int, int]:
+    """Run every ``>>>`` example in ``path``; returns (failed, attempted)."""
+    text = path.read_text(encoding="utf-8")
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS
+    )
+    globs: dict = {}
+    failed = attempted = 0
+    for i, block in enumerate(_CODE_BLOCK.findall(text)):
+        if ">>>" not in block:
+            continue
+        test = parser.get_doctest(
+            block, globs, f"{path.name}[block {i}]", str(path), 0
+        )
+        result = runner.run(test, clear_globs=False)
+        failed += result.failed
+        attempted += result.attempted
+        globs = test.globs  # carry definitions into the next block
+    return failed, attempted
+
+
+def broken_links(path: Path) -> List[str]:
+    """Relative links in ``path`` that do not resolve inside the repo."""
+    text = path.read_text(encoding="utf-8")
+    bad = []
+    for target in _LINK.findall(text):
+        if target.startswith(_EXTERNAL):
+            continue
+        candidate = target.split("#", 1)[0]
+        if not candidate:
+            continue
+        resolved = (path.parent / candidate).resolve()
+        if not resolved.exists():
+            bad.append(target)
+    return bad
+
+
+def check(files: Iterable[Path]) -> int:
+    status = 0
+    for path in files:
+        failed, attempted = doctest_blocks(path)
+        links = broken_links(path)
+        label = path.relative_to(REPO_ROOT)
+        print(
+            f"{label}: {attempted} doctest example(s), "
+            f"{failed} failure(s), {len(links)} broken link(s)"
+        )
+        for target in links:
+            print(f"  broken link: {target}")
+        if failed or links:
+            status = 1
+    return status
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    files = [Path(a).resolve() for a in args] if args else default_files()
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        for f in missing:
+            print(f"no such file: {f}")
+        return 2
+    return check(files)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
