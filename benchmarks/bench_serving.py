@@ -1,0 +1,122 @@
+"""Serving benchmark: compiled InferenceSession vs per-request eager forward.
+
+The serving path (PR 3) folds ``decode ∘ U_R P1 U_C ∘ encode`` into dense
+operators once, so a micro-batched tick of requests costs a single GEMM
+instead of one full per-gate pipeline execution per request.  This
+benchmark measures both paths at the paper's architecture (``N = 16``,
+``l_C = 12``, ``l_R = 14``, ``d = 4``) on a stream of single-image
+requests:
+
+- **eager**: one ``QuantumAutoencoder.forward`` per request on the
+  default loop backend — the pre-PR-3 serving story;
+- **session**: the same requests through ``InferenceSession.submit`` and
+  a ``MicroBatcher`` flushing at the paper's batch width.
+
+Acceptance gates asserted here (and printed as JSON for the perf
+trajectory):
+
+- the session path is >= 3x faster than per-request eager forward;
+- session outputs match eager outputs to <= 1e-10.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_serving.py
+[output.json]``) or via pytest (``pytest benchmarks/bench_serving.py``);
+set ``BENCH_SERVING_JSON`` to also archive the JSON from the pytest run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict, List
+
+import numpy as np
+
+from repro.api.benchmark import measure_serving, synthetic_requests
+from repro.network.autoencoder import QuantumAutoencoder
+
+PAPER_DIM = 16
+PAPER_COMPRESSED = 4
+PAPER_LC = 12
+PAPER_LR = 14
+NUM_REQUESTS = 256
+MAX_BATCH = 25  # the paper's M — one dataset's worth per tick
+
+SPEEDUP_FLOOR = 3.0
+MATCH_TOL = 1e-10
+
+
+def _autoencoder(seed: int = 2024) -> QuantumAutoencoder:
+    return QuantumAutoencoder(
+        dim=PAPER_DIM,
+        compressed_dim=PAPER_COMPRESSED,
+        compression_layers=PAPER_LC,
+        reconstruction_layers=PAPER_LR,
+    ).initialize("uniform", rng=np.random.default_rng(seed))
+
+
+def run_benchmarks() -> Dict:
+    # The measurement protocol and request stream live in
+    # repro.api.benchmark, shared with `python -m repro serve-bench`;
+    # this file adds the paper configuration and the CI gates.
+    measured = measure_serving(
+        _autoencoder(),
+        synthetic_requests(NUM_REQUESTS, PAPER_DIM),
+        max_batch_size=MAX_BATCH,
+    )
+    return {
+        "config": {
+            "dim": PAPER_DIM,
+            "compressed_dim": PAPER_COMPRESSED,
+            "compression_layers": PAPER_LC,
+            "reconstruction_layers": PAPER_LR,
+            "num_requests": NUM_REQUESTS,
+            "max_batch": MAX_BATCH,
+        },
+        "summary": {
+            **measured,
+            "session_speedup_vs_eager": measured["speedup"],
+            "speedup_floor": SPEEDUP_FLOOR,
+            "match_tol": MATCH_TOL,
+        },
+    }
+
+
+def _emit(payload: Dict, path: str | None) -> None:
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    print(text)
+    if path:
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"\nbenchmark JSON written to {path}", file=sys.stderr)
+
+
+def _gates_pass(payload: Dict) -> bool:
+    """The full gate set — shared by the pytest and CLI entry points."""
+    summary = payload["summary"]
+    return (
+        summary["session_speedup_vs_eager"] >= SPEEDUP_FLOOR
+        and summary["session_match_vs_eager"] <= MATCH_TOL
+    )
+
+
+def test_serving_benchmark():
+    """Perf-trajectory gate: micro-batched session >= 3x per-request eager
+    forward at the paper config, outputs matching <= 1e-10."""
+    payload = run_benchmarks()
+    print()
+    _emit(payload, os.environ.get("BENCH_SERVING_JSON"))
+    assert _gates_pass(payload), payload["summary"]
+
+
+def main(argv: List[str] | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    path = args[0] if args else os.environ.get("BENCH_SERVING_JSON")
+    payload = run_benchmarks()
+    _emit(payload, path)
+    return 0 if _gates_pass(payload) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

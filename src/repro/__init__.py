@@ -22,20 +22,29 @@ experiment harness that regenerates each figure and table:
   fig5, table1) plus ablations;
 - :mod:`repro.parallel` — chunked batch execution and multiprocessing
   sweeps;
-- :mod:`repro.io` — model/result/image serialisation.
+- :mod:`repro.io` — model/result/image serialisation;
+- :mod:`repro.api` — the unified public surface: :class:`Codec`
+  (fit/compress/decompress/save/load) and :class:`InferenceSession`
+  (precompiled micro-batched serving).
 
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import QuantumAutoencoder, Trainer
+>>> from repro import Codec, CodecSpec
 >>> from repro.data import paper_dataset
 >>> X = paper_dataset().matrix()                    # 25 x 16 binary images
->>> ae = QuantumAutoencoder(dim=16, compressed_dim=4,
-...                         compression_layers=12, reconstruction_layers=14)
->>> _ = ae.initialize("uniform", rng=np.random.default_rng(7))
->>> result = Trainer(iterations=30).train(ae, X)    # doctest: +SKIP
+>>> codec = Codec(CodecSpec(iterations=30))         # paper architecture
+>>> payload = codec.fit(X).compress(X)              # doctest: +SKIP
+>>> x_hat = codec.decompress(payload)               # doctest: +SKIP
 """
 
+from repro.api import (
+    Codec,
+    CodecSpec,
+    CompressedBatch,
+    InferenceSession,
+    MicroBatcher,
+)
 from repro.encoding import AmplitudeCodec, encode_batch, decode_batch
 from repro.network import (
     GateLayer,
@@ -60,6 +69,11 @@ from repro.training import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Codec",
+    "CodecSpec",
+    "CompressedBatch",
+    "InferenceSession",
+    "MicroBatcher",
     "AmplitudeCodec",
     "encode_batch",
     "decode_batch",

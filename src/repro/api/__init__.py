@@ -1,0 +1,47 @@
+"""Unified public API: one trainable codec, one deployable session.
+
+The paper's pipeline (encode → ``U_C`` → ``P1`` → ``U_R`` → decode,
+Eqs. 1-4, Fig. 1) is exposed here as two objects with a clean seam
+between *training* and *serving*:
+
+- :class:`CodecSpec` — a frozen dataclass holding every knob (network
+  architecture + execution/training stack) with the paper's Section IV-A
+  values as defaults;
+- :class:`Codec` — the estimator-style facade:
+  ``fit`` / ``compress`` / ``decompress`` / ``evaluate`` / ``save`` /
+  ``Codec.load``;
+- :class:`CompressedBatch` — the wire payload (``d`` amplitudes + one
+  norm scalar per sample);
+- :class:`InferenceSession` — an immutable compiled artifact that folds
+  the whole pipeline into dense operators (one GEMM per served batch);
+- :class:`MicroBatcher` — accumulates single requests into ``(N, M)``
+  ticks behind :meth:`InferenceSession.submit`.
+
+``PaperConfig`` and the CLI build on the same objects; see
+``docs/serving.md`` for the serving walkthrough.
+
+Examples
+--------
+>>> import numpy as np
+>>> from repro.api import Codec, CodecSpec
+>>> spec = CodecSpec(dim=4, compressed_dim=2, compression_layers=2,
+...                  reconstruction_layers=2, iterations=2)
+>>> codec = Codec(spec)
+>>> X = np.abs(np.random.default_rng(0).normal(size=(6, 4))) + 0.1
+>>> x_hat = codec.decompress(codec.fit(X).compress(X))
+>>> bool(np.array_equal(x_hat, codec.forward(X).x_hat))
+True
+"""
+
+from repro.api.batcher import MicroBatcher
+from repro.api.codec import Codec, CompressedBatch
+from repro.api.session import InferenceSession
+from repro.api.spec import CodecSpec
+
+__all__ = [
+    "Codec",
+    "CodecSpec",
+    "CompressedBatch",
+    "InferenceSession",
+    "MicroBatcher",
+]

@@ -1,0 +1,106 @@
+"""Shared serving-measurement harness.
+
+One implementation of the eager-vs-session comparison protocol, used by
+both the CLI (``python -m repro serve-bench``) and the CI perf gate
+(``benchmarks/bench_serving.py``) so the two can never report different
+numbers for the same question:
+
+- **eager**: one full :meth:`QuantumAutoencoder.forward` per request —
+  the pre-`repro.api` serving story;
+- **session**: the same requests through
+  :meth:`InferenceSession.submit` + a manual flush — micro-batched
+  single-GEMM ticks.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+import numpy as np
+
+from repro.api.session import InferenceSession
+from repro.network.autoencoder import QuantumAutoencoder
+
+__all__ = [
+    "serve_eager",
+    "serve_session",
+    "measure_serving",
+    "synthetic_requests",
+]
+
+
+def synthetic_requests(
+    num_requests: int, dim: int, seed: int = 7
+) -> np.ndarray:
+    """A deterministic ``(R, N)`` request stream for serving benchmarks.
+
+    Folded-normal pixels with a small positive floor so every sample is
+    amplitude-encodable; the one generator shared by the CLI
+    ``serve-bench`` command and the CI gate.
+    """
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.normal(size=(num_requests, dim))) + 0.05
+
+
+def serve_eager(
+    autoencoder: QuantumAutoencoder, requests: np.ndarray
+) -> np.ndarray:
+    """Serve ``(R, N)`` requests one forward pass at a time."""
+    rows = [autoencoder.forward(row[None, :]).x_hat[0] for row in requests]
+    return np.stack(rows)
+
+
+def serve_session(
+    session: InferenceSession, requests: np.ndarray
+) -> np.ndarray:
+    """Serve ``(R, N)`` requests through the micro-batcher."""
+    futures = [session.submit(row) for row in requests]
+    session.flush()
+    return np.stack([f.result(timeout=30.0) for f in futures])
+
+
+def measure_serving(
+    autoencoder: QuantumAutoencoder,
+    requests: np.ndarray,
+    max_batch_size: int,
+) -> Dict:
+    """Time both serving paths on the same request stream.
+
+    Correctness first (the outputs are compared before anything is
+    timed), then each path runs once against the clock; the timed
+    session is a fresh compile so its tick stats cover exactly the
+    measured pass.
+    """
+    session = InferenceSession(
+        autoencoder, max_batch_size=max_batch_size, flush_latency=None
+    )
+    eager_out = serve_eager(autoencoder, requests)
+    session_out = serve_session(session, requests)
+    match = float(np.max(np.abs(session_out - eager_out)))
+
+    t0 = time.perf_counter()
+    serve_eager(autoencoder, requests)
+    eager_seconds = time.perf_counter() - t0
+
+    timed_session = InferenceSession(
+        autoencoder, max_batch_size=max_batch_size, flush_latency=None
+    )
+    t0 = time.perf_counter()
+    serve_session(timed_session, requests)
+    session_seconds = time.perf_counter() - t0
+
+    stats = timed_session.batcher.stats
+    num_requests = int(requests.shape[0])
+    return {
+        "requests": num_requests,
+        "max_batch": int(max_batch_size),
+        "eager_seconds": eager_seconds,
+        "session_seconds": session_seconds,
+        "speedup": eager_seconds / session_seconds,
+        "eager_req_per_s": num_requests / eager_seconds,
+        "session_req_per_s": num_requests / session_seconds,
+        "ticks": stats["ticks"],
+        "largest_tick": stats["largest_tick"],
+        "session_match_vs_eager": match,
+    }

@@ -1,0 +1,363 @@
+""":class:`Codec` — the estimator-style facade over the full pipeline.
+
+One object that can be trained, applied, persisted and compiled for
+serving, replacing the four-surface dance (``QuantumAutoencoder`` +
+``Trainer`` + ``PaperConfig`` + ``repro.io.model_io``) with::
+
+    codec = Codec(CodecSpec(backend="fused"))
+    codec.fit(X)
+    payload = codec.compress(X)          # (d, M) codes + norm scalars
+    x_hat = codec.decompress(payload)    # == codec.forward(X).x_hat, bitwise
+    codec.save("model.npz"); Codec.load("model.npz")
+
+The compressed representation travels as a :class:`CompressedBatch`: the
+``d`` kept amplitudes per sample plus the squared input norm (Eq. 2's
+classical side channel) — exactly the payload the paper's transmission
+scenario sends per image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.api.spec import CodecSpec
+from repro.encoding.amplitude import decode_batch
+from repro.exceptions import DimensionError
+from repro.network.autoencoder import AutoencoderOutput, QuantumAutoencoder
+from repro.training.loss import SquaredErrorLoss
+from repro.training.metrics import mse, paper_accuracy, pixel_accuracy
+from repro.training.trainer import TrainingResult
+
+__all__ = ["Codec", "CompressedBatch"]
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class CompressedBatch:
+    """The wire format of a compressed batch.
+
+    Attributes
+    ----------
+    codes:
+        ``(d, M)`` kept amplitudes (complex for phase-bearing codecs).
+    squared_norms:
+        ``(M,)`` squared input norms — Eq. 2's classical side channel,
+        one scalar per sample.
+    """
+
+    codes: np.ndarray
+    squared_norms: np.ndarray
+
+    def __post_init__(self) -> None:
+        codes = np.asarray(self.codes)
+        sq = np.asarray(self.squared_norms, dtype=np.float64).ravel()
+        if codes.ndim != 2:
+            raise DimensionError(
+                f"codes must be (d, M), got shape {codes.shape}"
+            )
+        if sq.size != codes.shape[1]:
+            raise DimensionError(
+                f"{sq.size} norms for {codes.shape[1]} samples"
+            )
+        object.__setattr__(self, "codes", codes)
+        object.__setattr__(self, "squared_norms", sq)
+
+    @property
+    def compressed_dim(self) -> int:
+        return int(self.codes.shape[0])
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.codes.shape[1])
+
+    @property
+    def floats_per_sample(self) -> int:
+        """Classical payload size: ``d`` amplitudes + the norm scalar."""
+        return self.compressed_dim + 1
+
+    @classmethod
+    def coerce(
+        cls,
+        compressed: "Union[CompressedBatch, np.ndarray]",
+        squared_norms: Optional[np.ndarray] = None,
+    ) -> "CompressedBatch":
+        """Normalise the two accepted payload forms into one.
+
+        Every ``decompress`` surface (:class:`Codec`,
+        :class:`~repro.api.session.InferenceSession`) accepts either a
+        :class:`CompressedBatch` or a raw ``(d, M)`` code matrix plus
+        its norms; this is the single unpacking path.
+        """
+        if isinstance(compressed, CompressedBatch):
+            if squared_norms is not None:
+                raise DimensionError(
+                    "pass squared_norms only with a raw code matrix — a "
+                    "CompressedBatch already carries its own"
+                )
+            return compressed
+        if squared_norms is None:
+            raise DimensionError(
+                "raw code matrices need their squared_norms; pass a "
+                "CompressedBatch or both arrays"
+            )
+        return cls(codes=compressed, squared_norms=squared_norms)
+
+    # -- JSON wire form (repro.io.results_io container) ----------------
+    def to_results(self) -> dict:
+        """A :func:`repro.io.results_io.save_results`-safe mapping.
+
+        Complex codes (phase-bearing codecs) split into real/imaginary
+        planes since JSON has no complex scalar; :meth:`from_results`
+        reassembles either form.  This is the one serialisation of the
+        wire payload — the CLI and any network front-end share it.
+        """
+        out = {
+            "squared_norms": self.squared_norms,
+            "compressed_dim": self.compressed_dim,
+            "num_samples": self.num_samples,
+        }
+        if np.iscomplexobj(self.codes):
+            out["codes_real"] = self.codes.real.copy()
+            out["codes_imag"] = self.codes.imag.copy()
+        else:
+            out["codes"] = self.codes
+        return out
+
+    @classmethod
+    def from_results(cls, results: dict) -> "CompressedBatch":
+        """Rebuild a payload from :meth:`to_results` output."""
+        if "codes" in results:
+            codes = np.asarray(results["codes"])
+        elif "codes_real" in results and "codes_imag" in results:
+            codes = np.asarray(results["codes_real"]) + 1j * np.asarray(
+                results["codes_imag"]
+            )
+        else:
+            raise DimensionError(
+                "payload mapping has neither 'codes' nor "
+                "'codes_real'/'codes_imag'"
+            )
+        return cls(
+            codes=codes,
+            squared_norms=np.asarray(results["squared_norms"]),
+        )
+
+
+class Codec:
+    """Trainable compress/decompress pipeline configured by a CodecSpec.
+
+    Parameters
+    ----------
+    spec:
+        The frozen configuration; defaults to the paper's Section IV-A
+        values.  Keyword overrides are applied via ``spec.with_(...)``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> codec = Codec(dim=4, compressed_dim=2, compression_layers=2,
+    ...               reconstruction_layers=2, iterations=2)
+    >>> X = np.abs(np.random.default_rng(0).normal(size=(6, 4))) + 0.1
+    >>> payload = codec.fit(X).compress(X)
+    >>> payload.codes.shape, codec.decompress(payload).shape
+    ((2, 6), (6, 4))
+    """
+
+    def __init__(self, spec: Optional[CodecSpec] = None, **overrides) -> None:
+        spec = spec if spec is not None else CodecSpec()
+        if overrides:
+            spec = spec.with_(**overrides)
+        self.spec = spec
+        self._ae = spec.build_autoencoder()
+        self.last_result: Optional[TrainingResult] = None
+        # Checkpoints record whether the parameters were ever fitted;
+        # the training history itself is not serialised.
+        self._fitted_on_load = False
+
+    # ------------------------------------------------------------------
+    @property
+    def autoencoder(self) -> QuantumAutoencoder:
+        """The underlying pipeline (shared, not a copy)."""
+        return self._ae
+
+    @property
+    def dim(self) -> int:
+        return self._ae.dim
+
+    @property
+    def compressed_dim(self) -> int:
+        return self._ae.compressed_dim
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether the parameters come from training (this process or a
+        reloaded checkpoint); ``last_result`` only exists for the former."""
+        return self.last_result is not None or self._fitted_on_load
+
+    def compression_ratio(self) -> float:
+        return self._ae.compression_ratio()
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, target_strategy=None) -> "Codec":
+        """Train both networks on ``(M, N)`` classical data (Algorithm 1).
+
+        ``target_strategy`` defaults to the spec's ``target`` choice
+        (the calibrated per-sample PCA target).  Returns ``self``; the
+        full :class:`~repro.training.trainer.TrainingResult` is kept on
+        :attr:`last_result`.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if target_strategy is None:
+            target_strategy = self.spec.build_target_strategy(self._ae, X)
+        trainer = self.spec.build_trainer(record_theta_every=None)
+        self.last_result = trainer.train(
+            self._ae, X, target_strategy=target_strategy
+        )
+        return self
+
+    # ------------------------------------------------------------------
+    # inference
+    # ------------------------------------------------------------------
+    def forward(self, X: np.ndarray) -> AutoencoderOutput:
+        """The full Fig.-1 pass with every intermediate artefact."""
+        return self._ae.forward(X)
+
+    def compress(self, X: np.ndarray) -> CompressedBatch:
+        """Encode and compress ``(M, N)`` data into its wire payload.
+
+        Bit-identical to the ``compact_codes``/``squared_norms`` a full
+        :meth:`forward` produces — only the reconstruction half is
+        skipped.
+        """
+        encoded = self._ae.codec.encode(np.asarray(X, dtype=np.float64))
+        compressed = self._ae.compression.compress(
+            encoded.states, renormalize=self._ae.renormalize
+        )
+        return CompressedBatch(
+            codes=self._ae.projection.restrict(compressed),
+            squared_norms=encoded.squared_norms,
+        )
+
+    def decompress(
+        self,
+        compressed: Union[CompressedBatch, np.ndarray],
+        squared_norms: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Reconstruct ``(M, N)`` classical data from a compressed payload.
+
+        Accepts a :class:`CompressedBatch` or a raw ``(d, M)`` code matrix
+        plus its norms.  ``decompress(compress(X))`` equals
+        ``forward(X).x_hat`` bitwise: the embedded codes reproduce the
+        projected state exactly (discarded rows are exact zeros), so the
+        reconstruction network sees identical inputs.
+        """
+        payload = CompressedBatch.coerce(compressed, squared_norms)
+        return self._ae.reconstruct_from_codes(
+            payload.codes, payload.squared_norms
+        )
+
+    def evaluate(self, X: np.ndarray) -> dict:
+        """Round-trip quality metrics of this codec on ``(M, N)`` data.
+
+        Returns Eq. 10 accuracy (thresholded and raw), MSE, the Eq. 5
+        reconstruction loss and the mean probability mass surviving
+        ``P1`` (1 - the paper's compression information loss).
+        """
+        X = np.asarray(X, dtype=np.float64)
+        out = self._ae.forward(X)
+        reference = decode_batch(
+            out.encoded.amplitudes(), out.encoded.squared_norms
+        )
+        loss = SquaredErrorLoss(reduction="sum")
+        return {
+            "accuracy": paper_accuracy(out.x_hat, reference),
+            "pixel_accuracy": pixel_accuracy(out.x_hat, reference),
+            "mse": mse(out.x_hat, reference),
+            "reconstruction_loss": loss.value(
+                out.output_amplitudes, out.encoded.amplitudes()
+            ),
+            "mean_retained_probability": float(
+                np.mean(out.retained_probability)
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # persistence — the repro.io npz container, spec riding in the header
+    # ------------------------------------------------------------------
+    def save(self, path: PathLike) -> Path:
+        """Write a v2 checkpoint: autoencoder archive + embedded spec.
+
+        The file is a plain :func:`repro.io.model_io.save_autoencoder`
+        archive (so ``load_autoencoder`` still reads it) with the full
+        :class:`CodecSpec` stored under ``extra.spec``.  Returns the
+        written path (``.npz`` appended when missing).
+        """
+        from repro.io.model_io import save_autoencoder
+
+        return save_autoencoder(
+            self._ae,
+            path,
+            extra={"spec": self.spec.to_dict(), "fitted": self.is_fitted},
+        )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "Codec":
+        """Rebuild a codec from :meth:`save` output or any autoencoder
+        archive (v1 or v2).
+
+        Archives without an embedded spec (plain ``save_autoencoder``
+        output, including every v1 file) get a spec synthesised from the
+        architecture header plus default execution knobs.
+        """
+        from repro.io.model_io import load_autoencoder_with_meta
+
+        ae, meta = load_autoencoder_with_meta(path)
+        extra = meta.get("extra") or {}
+        spec_dict = extra.get("spec")
+        if spec_dict is not None:
+            spec = CodecSpec.from_dict(spec_dict)
+        else:
+            spec = CodecSpec(
+                dim=ae.dim,
+                compressed_dim=ae.compressed_dim,
+                compression_layers=ae.uc.num_layers,
+                reconstruction_layers=ae.ur.num_layers,
+                allow_phase=ae.uc.allow_phase,
+                renormalize=ae.renormalize,
+                projection=tuple(int(k) for k in ae.projection.keep),
+                backend=ae.backend_name,
+            )
+        codec = cls.__new__(cls)
+        codec.spec = spec
+        codec._ae = ae
+        codec.last_result = None
+        codec._fitted_on_load = bool(extra.get("fitted", False))
+        return codec
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def session(self, **kwargs):
+        """Compile an immutable :class:`~repro.api.session.InferenceSession`.
+
+        Keyword arguments are forwarded (``max_batch_size``,
+        ``flush_latency``, ``chunk_size``).
+        """
+        from repro.api.session import InferenceSession
+
+        return InferenceSession.from_codec(self, **kwargs)
+
+    def __repr__(self) -> str:
+        state = "fitted" if self.is_fitted else "unfitted"
+        return (
+            f"Codec(dim={self.dim}, d={self.compressed_dim}, "
+            f"lC={self._ae.uc.num_layers}, lR={self._ae.ur.num_layers}, "
+            f"backend={self._ae.backend_name!r}, {state})"
+        )

@@ -1,0 +1,231 @@
+""":class:`InferenceSession` — an immutable, precompiled serving artifact.
+
+Training mutates parameters every iteration, so the execution stack is
+built around cache *invalidation*.  Serving is the opposite regime: the
+parameters are frozen, so the whole pipeline ``decode ∘ U_R P1 U_C ∘
+encode`` (Eqs. 1-4) can be folded **once** into dense operators via the
+fused backend and every served batch becomes a single GEMM:
+
+- ``encode_op = U_C[keep, :]``           (``d x N``) — amplitudes to codes;
+- ``decode_op = U_R[:, keep]``           (``N x d``) — codes to outputs;
+- ``pipeline_op = decode_op @ encode_op``  (``N x N``) — the full pass,
+  exploiting that ``P1 U_C`` has exact zeros in the discarded rows.
+
+The session snapshots the network at construction: later parameter
+updates (continued training, ``set_flat_params``) do **not** leak into a
+live session — rebuild one per deployed model version.  Oversized ticks
+stream through :func:`repro.parallel.batch.chunked_apply` so a burst of
+requests never materialises more than one ``(N, chunk_size)`` block.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.api.codec import CompressedBatch
+from repro.backends.fused import FusedBackend
+from repro.encoding.amplitude import AmplitudeCodec, decode_batch
+from repro.exceptions import DimensionError, ServingError
+from repro.network.autoencoder import (
+    QuantumAutoencoder,
+    renormalization_norms,
+)
+from repro.parallel.batch import chunked_apply
+
+__all__ = ["InferenceSession"]
+
+
+def _frozen_unitary(network) -> np.ndarray:
+    """Materialise a network's dense unitary without touching its backend.
+
+    A throwaway :class:`FusedBackend` bound to the live network assembles
+    the same cached matrix the ``"fused"`` execution path uses, whatever
+    backend the network itself runs on.
+    """
+    return FusedBackend().bind(network).unitary()
+
+
+class InferenceSession:
+    """One model version compiled for heavy-traffic inference.
+
+    Parameters
+    ----------
+    autoencoder:
+        The (typically trained) pipeline to freeze.  Its parameters are
+        folded into dense operators immediately; the session holds no
+        reference that later mutation can reach.
+    max_batch_size, flush_latency:
+        Forwarded to the request
+        :class:`~repro.api.batcher.MicroBatcher` behind :meth:`submit`.
+    chunk_size:
+        Column-chunk bound for oversized batches (memory ceiling, not a
+        truncation — every sample is always served).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.network.autoencoder import QuantumAutoencoder
+    >>> ae = QuantumAutoencoder(4, 2, 2, 2).initialize(rng=np.random.default_rng(0))
+    >>> session = InferenceSession(ae)
+    >>> X = np.abs(np.random.default_rng(1).normal(size=(5, 4))) + 0.1
+    >>> bool(np.allclose(session.reconstruct(X), ae.forward(X).x_hat))
+    True
+    """
+
+    def __init__(
+        self,
+        autoencoder: QuantumAutoencoder,
+        max_batch_size: int = 64,
+        flush_latency: Optional[float] = 0.005,
+        chunk_size: int = 4096,
+    ) -> None:
+        if chunk_size < 1:
+            raise ServingError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._dim = autoencoder.dim
+        self._compressed_dim = autoencoder.compressed_dim
+        self._renormalize = autoencoder.renormalize
+        self._keep = autoencoder.projection.keep.copy()
+        self._codec = AmplitudeCodec(self._dim)
+        self._chunk_size = int(chunk_size)
+        uc_u = _frozen_unitary(autoencoder.uc)
+        ur_u = _frozen_unitary(autoencoder.ur)
+        self._encode_op = np.ascontiguousarray(uc_u[self._keep, :])
+        self._decode_op = np.ascontiguousarray(ur_u[:, self._keep])
+        self._pipeline_op = self._decode_op @ self._encode_op
+        for op in (self._encode_op, self._decode_op, self._pipeline_op):
+            op.flags.writeable = False
+        self._closed = False
+        # Eager, not lazy: a racy first-submit check-then-set could build
+        # two batchers and strand one thread's request forever.
+        from repro.api.batcher import MicroBatcher
+
+        self._batcher = MicroBatcher(
+            self,
+            max_batch_size=max_batch_size,
+            flush_latency=flush_latency,
+        )
+
+    @classmethod
+    def from_codec(cls, codec, **kwargs) -> "InferenceSession":
+        """Compile a :class:`~repro.api.codec.Codec`'s current parameters."""
+        return cls(codec.autoencoder, **kwargs)
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def compressed_dim(self) -> int:
+        return self._compressed_dim
+
+    @property
+    def renormalize(self) -> bool:
+        return self._renormalize
+
+    @property
+    def chunk_size(self) -> int:
+        return self._chunk_size
+
+    def pipeline_operator(self) -> np.ndarray:
+        """The folded ``U_R P1 U_C`` matrix (a copy; inspection only)."""
+        return self._pipeline_op.copy()
+
+    # ------------------------------------------------------------------
+    # batch serving
+    # ------------------------------------------------------------------
+    def _apply(self, op: np.ndarray, batch: np.ndarray) -> np.ndarray:
+        # chunked_apply degenerates to one matmul when the batch fits in
+        # a single chunk, so no fast-path branch is needed.
+        return chunked_apply(op, batch, chunk_size=self._chunk_size)
+
+    def _code_norms(self, codes: np.ndarray) -> np.ndarray:
+        # Same guard (and cutoff) as the eager CompressionNetwork path.
+        return renormalization_norms(codes, ServingError)
+
+    def reconstruct(self, X: np.ndarray) -> np.ndarray:
+        """Serve one ``(M, N)`` tick: encode, one GEMM, decode.
+
+        Matches the eager ``QuantumAutoencoder.forward(X).x_hat`` to
+        rounding (``<= 1e-10``; the reassociated GEMM vs the per-gate
+        kernels).
+        """
+        encoded = self._codec.encode(np.asarray(X, dtype=np.float64))
+        amps = encoded.amplitudes()
+        if self._renormalize:
+            codes = self._apply(self._encode_op, amps)
+            b = self._apply(self._decode_op, codes / self._code_norms(codes))
+        else:
+            b = self._apply(self._pipeline_op, amps)
+        return decode_batch(b, encoded.squared_norms)
+
+    def compress(self, X: np.ndarray) -> CompressedBatch:
+        """The ``(d, M)`` wire payload via the precompiled encode operator."""
+        encoded = self._codec.encode(np.asarray(X, dtype=np.float64))
+        codes = self._apply(self._encode_op, encoded.amplitudes())
+        if self._renormalize:
+            codes = codes / self._code_norms(codes)
+        return CompressedBatch(
+            codes=codes, squared_norms=encoded.squared_norms
+        )
+
+    def decompress(
+        self,
+        compressed: Union[CompressedBatch, np.ndarray],
+        squared_norms: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Reconstruct classical data from codes (receiver side)."""
+        payload = CompressedBatch.coerce(compressed, squared_norms)
+        if payload.compressed_dim != self._compressed_dim:
+            raise DimensionError(
+                f"expected ({self._compressed_dim}, M) codes, got "
+                f"{payload.codes.shape}"
+            )
+        return decode_batch(
+            self._apply(self._decode_op, payload.codes),
+            payload.squared_norms,
+        )
+
+    # ------------------------------------------------------------------
+    # request serving (micro-batched)
+    # ------------------------------------------------------------------
+    @property
+    def batcher(self):
+        """The session's request accumulator."""
+        return self._batcher
+
+    def submit(self, x: np.ndarray):
+        """Enqueue one ``(N,)`` request; returns a ``Future`` of its
+        reconstruction.
+
+        Requests accumulate into ``(N, M)`` ticks (flushed at
+        ``max_batch_size`` or after ``flush_latency`` seconds) so each
+        tick costs one GEMM regardless of arrival pattern.
+        """
+        if self._closed:
+            raise ServingError("inference session is closed")
+        return self._batcher.submit(x)
+
+    def flush(self) -> int:
+        """Serve all pending requests now; returns how many were served."""
+        return self._batcher.flush()
+
+    def close(self) -> None:
+        """Flush and stop accepting :meth:`submit` requests."""
+        self._closed = True
+        self._batcher.close()
+
+    def __enter__(self) -> "InferenceSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"InferenceSession(dim={self._dim}, d={self._compressed_dim}, "
+            f"renormalize={self._renormalize}, "
+            f"chunk_size={self._chunk_size})"
+        )

@@ -1,0 +1,250 @@
+""":class:`CodecSpec` — the single frozen description of a codec.
+
+Before this module existed the knobs of the paper's pipeline were split
+between two surfaces: the *network* knobs (``dim``, ``compressed_dim``,
+layer counts, ``allow_phase``, ``renormalize``, the projection) lived in
+``QuantumAutoencoder``'s constructor, while the *execution* knobs
+(``backend``, ``grad_engine``, gradient method, optimizer, loss mode)
+lived in :class:`~repro.experiments.config.PaperConfig` and ``Trainer``
+keyword arguments.  ``CodecSpec`` unifies both into one frozen, hashable,
+JSON-round-trippable dataclass; :class:`~repro.api.codec.Codec` is
+configured by it, checkpoints embed it, and ``PaperConfig`` now builds its
+autoencoder and trainer *through* it (thin-layer delegation), so there is
+exactly one code path from a description to a runnable pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Literal, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import NetworkConfigError
+from repro.network.autoencoder import QuantumAutoencoder
+from repro.network.projection import Projection
+
+__all__ = ["CodecSpec"]
+
+OptimizerName = Literal["gd", "momentum", "adam"]
+TargetName = Literal["pca", "restrict", "uniform"]
+LossMode = Literal["sum", "mean"]
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """Every knob of a compression/reconstruction codec, paper defaults.
+
+    The first block mirrors the network architecture (Eqs. 3-4), the
+    second the execution/training stack layered on it since PR 1-2.
+    Instances are immutable — use :meth:`with_` for functional updates —
+    and serialise losslessly via :meth:`to_dict` / :meth:`from_dict`.
+
+    Examples
+    --------
+    >>> spec = CodecSpec()
+    >>> spec.dim, spec.compressed_dim, spec.compression_layers
+    (16, 4, 12)
+    >>> spec.with_(backend="fused").backend
+    'fused'
+    >>> CodecSpec.from_dict(spec.to_dict()) == spec
+    True
+    """
+
+    # -- network (Eqs. 3-4, Fig. 1) ------------------------------------
+    dim: int = 16
+    compressed_dim: int = 4
+    compression_layers: int = 12
+    reconstruction_layers: int = 14
+    allow_phase: bool = False
+    renormalize: bool = False
+    #: Kept basis-state indices of ``P1``; ``None`` means the paper's
+    #: default layout (the *last* ``compressed_dim`` states).
+    projection: Optional[Tuple[int, ...]] = None
+
+    # -- execution / training ------------------------------------------
+    backend: str = "loop"
+    grad_engine: str = "batched"
+    gradient_method: str = "adjoint"
+    optimizer: OptimizerName = "momentum"
+    learning_rate: float = 0.01
+    momentum: float = 0.9
+    iterations: int = 150
+    loss_mode: LossMode = "sum"
+    target: TargetName = "pca"
+    seed: int = 2024
+
+    def __post_init__(self) -> None:
+        if self.compressed_dim >= self.dim:
+            raise NetworkConfigError(
+                f"compressed_dim={self.compressed_dim} must be < "
+                f"dim={self.dim}"
+            )
+        if self.iterations < 1:
+            raise NetworkConfigError(
+                f"iterations must be >= 1, got {self.iterations}"
+            )
+        if self.learning_rate <= 0:
+            raise NetworkConfigError(
+                f"learning_rate must be > 0, got {self.learning_rate}"
+            )
+        if self.optimizer not in ("gd", "momentum", "adam"):
+            raise NetworkConfigError(f"unknown optimizer {self.optimizer!r}")
+        if self.target not in ("pca", "restrict", "uniform"):
+            raise NetworkConfigError(f"unknown target {self.target!r}")
+        if self.loss_mode not in ("sum", "mean"):
+            raise NetworkConfigError(
+                f"loss_mode must be 'sum' or 'mean', got {self.loss_mode!r}"
+            )
+        if self.projection is not None:
+            object.__setattr__(
+                self, "projection", tuple(int(k) for k in self.projection)
+            )
+            if len(self.projection) != self.compressed_dim:
+                raise NetworkConfigError(
+                    f"projection keeps {len(self.projection)} dims but "
+                    f"compressed_dim={self.compressed_dim}"
+                )
+        # Registry-backed names validate against their single source of
+        # truth; Projection re-checks index bounds.
+        from repro.backends import validate_backend_name
+        from repro.training.gradients import (
+            validate_gradient_engine,
+            available_gradient_methods,
+        )
+
+        validate_backend_name(self.backend, NetworkConfigError)
+        validate_gradient_engine(self.grad_engine, NetworkConfigError)
+        if self.gradient_method not in available_gradient_methods():
+            raise NetworkConfigError(
+                f"unknown gradient method {self.gradient_method!r}; "
+                f"available: {available_gradient_methods()}"
+            )
+        self.build_projection()
+
+    # ------------------------------------------------------------------
+    def with_(self, **changes) -> "CodecSpec":
+        """Functional update (frozen dataclass convenience)."""
+        return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable mapping; inverse of :meth:`from_dict`."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        if out["projection"] is not None:
+            out["projection"] = list(out["projection"])
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CodecSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Unknown keys are rejected (a checkpoint from a newer format should
+        fail loudly, not half-load).
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise NetworkConfigError(
+                f"unknown CodecSpec fields {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if kwargs.get("projection") is not None:
+            kwargs["projection"] = tuple(kwargs["projection"])
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    # factories — the one code path from description to runnable objects
+    # ------------------------------------------------------------------
+    def build_projection(self) -> Projection:
+        """The ``P1`` this spec describes."""
+        if self.projection is None:
+            return Projection.last(self.dim, self.compressed_dim)
+        return Projection(self.dim, self.projection)
+
+    def build_autoencoder(self) -> QuantumAutoencoder:
+        """A fresh autoencoder, parameters initialised from ``seed``."""
+        ae = QuantumAutoencoder(
+            dim=self.dim,
+            compressed_dim=self.compressed_dim,
+            compression_layers=self.compression_layers,
+            reconstruction_layers=self.reconstruction_layers,
+            projection=(
+                None if self.projection is None else self.build_projection()
+            ),
+            allow_phase=self.allow_phase,
+            backend=self.backend,
+            renormalize=self.renormalize,
+        )
+        ae.initialize("uniform", rng=np.random.default_rng(self.seed))
+        return ae
+
+    def build_optimizer(self):
+        """A fresh optimizer per network (Algorithm 1 trains two)."""
+        from repro.training.optimizers import Adam, GradientDescent, MomentumGD
+
+        if self.optimizer == "gd":
+            return GradientDescent(self.learning_rate)
+        if self.optimizer == "momentum":
+            return MomentumGD(self.learning_rate, self.momentum)
+        # The 5x factor is the PaperConfig calibration: Adam at the raw
+        # paper eta undershoots the Fig. 4c losses in 150 iterations.
+        return Adam(self.learning_rate * 5.0)
+
+    def build_trainer(
+        self,
+        record_theta_every: Optional[int] = 1,
+        trace_sample: Optional[int] = None,
+    ):
+        """A :class:`~repro.training.trainer.Trainer` wired to this spec."""
+        from repro.training.trainer import Trainer
+
+        return Trainer(
+            iterations=self.iterations,
+            learning_rate=self.learning_rate,
+            gradient_method=self.gradient_method,
+            backend=self.backend,
+            grad_engine=self.grad_engine,
+            optimizer_factory=self.build_optimizer,
+            trace_sample=trace_sample,
+            record_theta_every=record_theta_every,
+            update_reduction=self.loss_mode,
+        )
+
+    def build_target_strategy(
+        self, autoencoder: QuantumAutoencoder, X: np.ndarray
+    ):
+        """The compression-target strategy ``fit`` trains against."""
+        from repro.network.targets import (
+            TruncatedInputTarget,
+            UniformSubspaceTarget,
+        )
+
+        if self.target == "pca":
+            return TruncatedInputTarget.from_pca(autoencoder.projection, X)
+        if self.target == "restrict":
+            return TruncatedInputTarget(autoencoder.projection)
+        return UniformSubspaceTarget(autoencoder.projection)
+
+    @classmethod
+    def from_paper_config(cls, config) -> "CodecSpec":
+        """Lift a :class:`~repro.experiments.config.PaperConfig` into a spec.
+
+        Duck-typed on the config's attributes so this module never imports
+        the experiments layer (which imports *us*).
+        """
+        return cls(
+            dim=config.dim,
+            compressed_dim=config.compressed_dim,
+            compression_layers=config.compression_layers,
+            reconstruction_layers=config.reconstruction_layers,
+            allow_phase=config.allow_phase,
+            backend=config.backend,
+            grad_engine=config.grad_engine,
+            gradient_method=config.gradient_method,
+            optimizer=config.optimizer,
+            learning_rate=config.learning_rate,
+            momentum=config.momentum,
+            iterations=config.iterations,
+            target=config.target,
+            seed=config.seed,
+        )

@@ -25,6 +25,7 @@ __all__ = [
     "DecompositionError",
     "MeasurementError",
     "SerializationError",
+    "ServingError",
     "ExperimentError",
     "BaselineError",
 ]
@@ -100,6 +101,11 @@ class MeasurementError(ReproError, ValueError):
 
 class SerializationError(ReproError, ValueError):
     """Model or result (de)serialisation failed."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """An inference session or micro-batcher was misused (closed, invalid
+    request shape, or a request that cannot be amplitude-encoded)."""
 
 
 class ExperimentError(ReproError, RuntimeError):

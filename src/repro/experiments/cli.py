@@ -1,7 +1,9 @@
-"""Command-line interface: ``python -m repro <experiment> [options]``.
+"""Command-line interface: ``python -m repro <command> [options]``.
 
-Runs any paper artefact or ablation from the shell, prints the rendered
-figure/table, and optionally archives the raw numbers as JSON:
+Two command families share one parser:
+
+**Paper artefacts** — run an experiment, print the rendered figure/table,
+optionally archive the raw numbers as JSON:
 
 .. code-block:: console
 
@@ -10,18 +12,32 @@ figure/table, and optionally archives the raw numbers as JSON:
     python -m repro table1 --strong-csc
     python -m repro ablation --study gradient
 
-Every run is deterministic given ``--seed`` (default 2024).
+**Codec lifecycle** — train a :class:`~repro.api.Codec`, move payloads
+through a checkpoint, and benchmark the serving path:
+
+.. code-block:: console
+
+    python -m repro train --checkpoint model.npz --iterations 150
+    python -m repro compress --checkpoint model.npz --output codes.json
+    python -m repro decompress --checkpoint model.npz --codes codes.json
+    python -m repro serve-bench --checkpoint model.npz --requests 256
+
+Every run is deterministic given ``--seed`` (default 2024).  Unknown
+commands exit with status 2 and the usage string; ``--version`` prints
+the package version.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 import numpy as np
 
 from repro.backends import available_backends
+from repro.exceptions import ReproError, SerializationError
 from repro.experiments import ablations
 from repro.training.gradients import (
     DEFAULT_GRADIENT_ENGINE,
@@ -37,7 +53,7 @@ from repro.experiments.reporting import (
     render_table1,
 )
 from repro.experiments.table1 import run_table1
-from repro.io.results_io import save_results
+from repro.io.results_io import load_results, save_results
 
 __all__ = ["build_parser", "main"]
 
@@ -54,6 +70,8 @@ _ABLATION_STUDIES = {
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -78,6 +96,9 @@ def build_parser() -> argparse.ArgumentParser:
             "                 backend (--backend fused). See "
             "docs/gradients.md.\n"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
@@ -128,6 +149,61 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(pa)
     pa.add_argument("--study", choices=sorted(_ABLATION_STUDIES),
                     required=True)
+
+    # -- codec lifecycle ------------------------------------------------
+    ptr = sub.add_parser(
+        "train",
+        help="train a Codec on the paper dataset and save a checkpoint",
+    )
+    add_common(ptr)
+    ptr.add_argument("--checkpoint", type=str, required=True,
+                     help="write the trained codec to this .npz file")
+    ptr.add_argument("--compressed-dim", type=int, default=4,
+                     help="kept subspace size d (paper: 4)")
+    ptr.add_argument("--compression-layers", type=int, default=12)
+    ptr.add_argument("--reconstruction-layers", type=int, default=14)
+    ptr.add_argument("--renormalize", action="store_true",
+                     help="renormalise the projected state (post-selection)")
+    ptr.add_argument("--allow-phase", action="store_true",
+                     help="Section V complex (trainable alpha) extension")
+
+    pc = sub.add_parser(
+        "compress",
+        help="compress data through a checkpoint into a codes JSON file",
+    )
+    pc.add_argument("--checkpoint", type=str, required=True)
+    pc.add_argument("--output", type=str, required=True,
+                    help="write the compressed payload to this JSON file")
+    pc.add_argument("--input", type=str, default=None,
+                    help=(
+                        "JSON results file holding an 'X' (M, N) matrix; "
+                        "defaults to the paper dataset"
+                    ))
+    pc.add_argument("--seed", type=int, default=2024,
+                    help="paper-dataset seed when --input is omitted")
+
+    pd = sub.add_parser(
+        "decompress",
+        help="reconstruct data from a codes JSON file through a checkpoint",
+    )
+    pd.add_argument("--checkpoint", type=str, required=True)
+    pd.add_argument("--codes", type=str, required=True,
+                    help="payload JSON written by 'compress'")
+    pd.add_argument("--output", type=str, default=None,
+                    help="write the reconstruction to this JSON file")
+
+    ps = sub.add_parser(
+        "serve-bench",
+        help="micro-benchmark the InferenceSession against eager forward",
+    )
+    ps.add_argument("--checkpoint", type=str, default=None,
+                    help="codec checkpoint; defaults to a seed-initialised "
+                         "paper-config codec")
+    ps.add_argument("--requests", type=int, default=256)
+    ps.add_argument("--max-batch", type=int, default=32)
+    ps.add_argument("--seed", type=int, default=2024)
+    ps.add_argument("--output", type=str, default=None,
+                    help="write the benchmark JSON to this file")
     return parser
 
 
@@ -142,11 +218,153 @@ def _config_from_args(args: argparse.Namespace) -> PaperConfig:
     )
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
-    config = _config_from_args(args)
+# ----------------------------------------------------------------------
+# codec-lifecycle helpers
+# ----------------------------------------------------------------------
+def _default_dataset(dim: int, seed: int) -> np.ndarray:
+    from repro.data.binary_images import paper_dataset
 
+    image_size = int(round(np.sqrt(dim)))
+    return paper_dataset(image_size=image_size, seed=seed).matrix()
+
+
+def _run_train(args: argparse.Namespace) -> dict:
+    from repro.api import Codec, CodecSpec
+
+    spec = CodecSpec(
+        compressed_dim=args.compressed_dim,
+        compression_layers=args.compression_layers,
+        reconstruction_layers=args.reconstruction_layers,
+        renormalize=args.renormalize,
+        allow_phase=args.allow_phase,
+        backend=args.backend,
+        grad_engine=args.grad_engine,
+        gradient_method=args.gradient,
+        optimizer=args.optimizer,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    codec = Codec(spec)
+    X = _default_dataset(spec.dim, args.seed)
+    t0 = time.perf_counter()
+    codec.fit(X)
+    seconds = time.perf_counter() - t0
+    written = codec.save(args.checkpoint)
+    metrics = codec.evaluate(X)
+    assert codec.last_result is not None
+    print(f"trained {codec!r} in {seconds:.2f}s "
+          f"({args.iterations} iterations)")
+    print(f"  L_C={codec.last_result.final_loss_c:.6f} "
+          f"L_R={codec.last_result.final_loss_r:.6f} "
+          f"accuracy={metrics['accuracy']:.2f}%")
+    print(f"checkpoint written to {written}")
+    return {
+        "seconds": seconds,
+        "loss_c": codec.last_result.final_loss_c,
+        "loss_r": codec.last_result.final_loss_r,
+        **metrics,
+    }
+
+
+def _run_compress(args: argparse.Namespace) -> dict:
+    from repro.api import Codec
+
+    codec = Codec.load(args.checkpoint)
+    if args.input:
+        results = load_results(args.input)
+        if "X" not in results:
+            raise SerializationError(
+                f"--input file {args.input} has no 'X' entry; expected a "
+                "results JSON holding an (M, N) data matrix under 'X'"
+            )
+        X = np.asarray(results["X"], dtype=np.float64)
+    else:
+        X = _default_dataset(codec.dim, args.seed)
+    payload = codec.compress(X)
+    results = payload.to_results()
+    save_results(results, args.output)
+    print(f"compressed {payload.num_samples} samples: "
+          f"{codec.dim} -> {payload.compressed_dim} amplitudes "
+          f"(+1 norm scalar) per sample "
+          f"({codec.compression_ratio():.0%} ratio)")
+    print(f"payload written to {args.output}")
+    return results
+
+
+def _run_decompress(args: argparse.Namespace) -> dict:
+    from repro.api import Codec, CompressedBatch
+
+    codec = Codec.load(args.checkpoint)
+    payload = CompressedBatch.from_results(load_results(args.codes))
+    x_hat = codec.decompress(payload)
+    print(f"decompressed {payload.num_samples} samples back to "
+          f"({x_hat.shape[0]}, {x_hat.shape[1]})")
+    results = {"x_hat": x_hat}
+    if args.output:
+        save_results(results, args.output)
+        print(f"reconstruction written to {args.output}")
+    return results
+
+
+def _run_serve_bench(args: argparse.Namespace) -> dict:
+    from repro.api import Codec
+    from repro.api.benchmark import measure_serving, synthetic_requests
+
+    if args.checkpoint:
+        codec = Codec.load(args.checkpoint)
+    else:
+        codec = Codec(seed=args.seed)
+    requests = synthetic_requests(args.requests, codec.dim, seed=args.seed)
+    results = measure_serving(
+        codec.autoencoder, requests, max_batch_size=args.max_batch
+    )
+    print(f"eager   : {results['eager_req_per_s']:10.0f} req/s "
+          f"(per-request QuantumAutoencoder.forward)")
+    print(f"session : {results['session_req_per_s']:10.0f} req/s "
+          f"(micro-batched single-GEMM ticks of <= {args.max_batch})")
+    print(f"speedup : {results['speedup']:.1f}x "
+          f"over {results['ticks']} ticks")
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Parser failures (unknown command, bad flag) are converted to their
+    argparse exit status — code 2 with the usage string on stderr —
+    instead of letting ``SystemExit`` propagate to programmatic callers.
+    """
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse prints usage/message itself
+        code = exc.code
+        return code if isinstance(code, int) else 0 if code is None else 2
+
+    if args.experiment in ("train", "compress", "decompress", "serve-bench"):
+        handler = {
+            "train": _run_train,
+            "compress": _run_compress,
+            "decompress": _run_decompress,
+            "serve-bench": _run_serve_bench,
+        }[args.experiment]
+        try:
+            payload = handler(args)
+            # compress/decompress manage --output themselves (it IS
+            # their artefact); train/serve-bench archive their summary
+            # like the experiment commands do.
+            output = getattr(args, "output", None)
+            if output and args.experiment in ("train", "serve-bench"):
+                save_results(payload, output)
+                print(f"\nresults written to {output}")
+        except (ReproError, FileNotFoundError) as exc:
+            # Lifecycle commands take user-supplied file paths; a bad
+            # path or malformed payload is an operator error, not a bug
+            # — report it without a traceback.
+            print(f"repro {args.experiment}: error: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    config = _config_from_args(args)
     if args.experiment == "fig4":
         result = run_fig4(config)
         print(render_fig4(result))

@@ -24,16 +24,12 @@ from typing import Literal, Optional
 
 import numpy as np
 
+from repro.api.spec import CodecSpec
 from repro.data.binary_images import paper_dataset
 from repro.data.dataset import ImageDataset
 from repro.exceptions import ExperimentError
 from repro.network.autoencoder import QuantumAutoencoder
-from repro.network.targets import (
-    CompressionTargetStrategy,
-    TruncatedInputTarget,
-    UniformSubspaceTarget,
-)
-from repro.training.optimizers import Adam, GradientDescent, MomentumGD
+from repro.network.targets import CompressionTargetStrategy
 from repro.training.trainer import Trainer
 
 __all__ = ["PaperConfig"]
@@ -126,43 +122,29 @@ class PaperConfig:
             seed=self.seed,
         )
 
+    def codec_spec(self) -> CodecSpec:
+        """This experiment's knobs as a unified :class:`CodecSpec`.
+
+        ``PaperConfig`` keeps only the experiment-harness extras
+        (``num_samples``, ``trace_sample``); everything buildable is
+        delegated through the spec so the experiments and the
+        :class:`~repro.api.Codec` API share one code path.
+        """
+        return CodecSpec.from_paper_config(self)
+
     def build_autoencoder(self) -> QuantumAutoencoder:
         """A fresh autoencoder initialised with the config's seed."""
-        ae = QuantumAutoencoder(
-            dim=self.dim,
-            compressed_dim=self.compressed_dim,
-            compression_layers=self.compression_layers,
-            reconstruction_layers=self.reconstruction_layers,
-            allow_phase=self.allow_phase,
-            backend=self.backend,
-        )
-        ae.initialize("uniform", rng=np.random.default_rng(self.seed))
-        return ae
+        return self.codec_spec().build_autoencoder()
 
     def build_target_strategy(
         self, autoencoder: QuantumAutoencoder, X: np.ndarray
     ) -> CompressionTargetStrategy:
-        if self.target == "pca":
-            return TruncatedInputTarget.from_pca(autoencoder.projection, X)
-        if self.target == "restrict":
-            return TruncatedInputTarget(autoencoder.projection)
-        return UniformSubspaceTarget(autoencoder.projection)
+        return self.codec_spec().build_target_strategy(autoencoder, X)
 
     def build_trainer(self, record_theta_every: Optional[int] = 1) -> Trainer:
-        factories = {
-            "gd": lambda: GradientDescent(self.learning_rate),
-            "momentum": lambda: MomentumGD(self.learning_rate, self.momentum),
-            "adam": lambda: Adam(self.learning_rate * 5.0),
-        }
-        return Trainer(
-            iterations=self.iterations,
-            learning_rate=self.learning_rate,
-            gradient_method=self.gradient_method,
-            backend=self.backend,
-            grad_engine=self.grad_engine,
-            optimizer_factory=factories[self.optimizer],
+        return self.codec_spec().build_trainer(
+            record_theta_every=record_theta_every,
             trace_sample=self.trace_sample
             if self.trace_sample < self.num_samples
             else None,
-            record_theta_every=record_theta_every,
         )

@@ -8,7 +8,14 @@
   JSON (arrays converted losslessly to nested lists).
 """
 
-from repro.io.model_io import save_network, load_network, save_autoencoder, load_autoencoder
+from repro.io.model_io import (
+    save_network,
+    load_network,
+    save_autoencoder,
+    load_autoencoder,
+    load_autoencoder_with_meta,
+    read_model_meta,
+)
 from repro.io.image_io import write_pgm, read_pgm, write_pbm
 from repro.io.results_io import save_results, load_results
 
@@ -17,6 +24,8 @@ __all__ = [
     "load_network",
     "save_autoencoder",
     "load_autoencoder",
+    "load_autoencoder_with_meta",
+    "read_model_meta",
     "write_pgm",
     "read_pgm",
     "write_pbm",

@@ -3,13 +3,23 @@
 The format stores a small JSON metadata string (architecture) plus the raw
 parameter arrays, so a file round-trips to a network that is numerically
 identical and structurally re-buildable without pickling arbitrary code.
+
+Format history:
+
+- **v1** (PR 0): architecture + parameters.
+- **v2** (this version): additionally persists the pipeline state a
+  round-trip used to drop — ``renormalize`` and the selected execution
+  ``backend`` name — plus an optional free-form ``extra`` mapping used by
+  higher layers (:meth:`repro.api.Codec.save` stores its ``CodecSpec``
+  there).  v1 archives still load, with back-compat defaults
+  (``renormalize=False``, ``backend="loop"``).
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -23,22 +33,59 @@ __all__ = [
     "load_network",
     "save_autoencoder",
     "load_autoencoder",
+    "load_autoencoder_with_meta",
+    "read_model_meta",
 ]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 PathLike = Union[str, Path]
 
 
-def save_network(network: QuantumNetwork, path: PathLike) -> None:
-    """Serialise a network to ``path`` (``.npz``).
+def _npz_path(path: PathLike) -> Path:
+    """The path ``np.savez`` will actually write (it appends ``.npz``)."""
+    p = Path(path)
+    return p if str(p).endswith(".npz") else Path(str(p) + ".npz")
+
+
+def _read_path(path: PathLike) -> Path:
+    """Resolve a load path symmetrically with the save-side suffixing.
+
+    A checkpoint saved as ``model`` lands on disk as ``model.npz``; loads
+    by either name must find it (the literal path wins if it exists).
+    """
+    p = Path(path)
+    if p.exists():
+        return p
+    alt = _npz_path(p)
+    return alt if alt.exists() else p
+
+
+def _write_archive(path: PathLike, meta: dict, params: np.ndarray) -> Path:
+    target = _npz_path(path)
+    np.savez(
+        target,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        params=params,
+    )
+    return target
+
+
+def save_network(
+    network: QuantumNetwork,
+    path: PathLike,
+    extra: Optional[dict] = None,
+) -> Path:
+    """Serialise a network; returns the written path (``.npz`` appended
+    when missing, matching ``np.savez``).
 
     Examples
     --------
     >>> import tempfile, os
     >>> net = QuantumNetwork(4, 2)
     >>> with tempfile.TemporaryDirectory() as d:
-    ...     save_network(net, os.path.join(d, "net.npz"))
+    ...     _ = save_network(net, os.path.join(d, "net.npz"))
     ...     same = load_network(os.path.join(d, "net.npz"))
     >>> same.dim, same.num_layers
     (4, 2)
@@ -50,12 +97,11 @@ def save_network(network: QuantumNetwork, path: PathLike) -> None:
         "num_layers": network.num_layers,
         "descending": network.descending,
         "allow_phase": network.allow_phase,
+        "backend": network.backend.name,
     }
-    np.savez(
-        Path(path),
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        params=network.get_flat_params(),
-    )
+    if extra:
+        meta["extra"] = extra
+    return _write_archive(path, meta, network.get_flat_params())
 
 
 def _read_meta(archive: np.lib.npyio.NpzFile, expected_kind: str) -> dict:
@@ -67,9 +113,10 @@ def _read_meta(archive: np.lib.npyio.NpzFile, expected_kind: str) -> dict:
         meta = json.loads(bytes(archive["meta"].tobytes()).decode())
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise SerializationError(f"corrupt model metadata: {exc}") from exc
-    if meta.get("format_version") != _FORMAT_VERSION:
+    if meta.get("format_version") not in _SUPPORTED_VERSIONS:
         raise SerializationError(
-            f"unsupported format version {meta.get('format_version')!r}"
+            f"unsupported format version {meta.get('format_version')!r}; "
+            f"this build reads versions {list(_SUPPORTED_VERSIONS)}"
         )
     if meta.get("kind") != expected_kind:
         raise SerializationError(
@@ -78,22 +125,47 @@ def _read_meta(archive: np.lib.npyio.NpzFile, expected_kind: str) -> dict:
     return meta
 
 
+def read_model_meta(path: PathLike, expected_kind: str) -> dict:
+    """The JSON metadata header of a saved model archive.
+
+    Lets higher layers (e.g. :mod:`repro.api`) inspect a checkpoint —
+    including the v2 ``extra`` mapping — without loading parameters.
+    """
+    with np.load(_read_path(path)) as archive:
+        return _read_meta(archive, expected_kind)
+
+
 def load_network(path: PathLike) -> QuantumNetwork:
     """Load a network saved by :func:`save_network`."""
-    with np.load(Path(path)) as archive:
+    with np.load(_read_path(path)) as archive:
         meta = _read_meta(archive, "QuantumNetwork")
         net = QuantumNetwork(
             dim=int(meta["dim"]),
             num_layers=int(meta["num_layers"]),
             descending=bool(meta["descending"]),
             allow_phase=bool(meta["allow_phase"]),
+            backend=str(meta.get("backend", "loop")),
         )
         net.set_flat_params(np.asarray(archive["params"], dtype=np.float64))
     return net
 
 
-def save_autoencoder(autoencoder: QuantumAutoencoder, path: PathLike) -> None:
-    """Serialise a full autoencoder (both networks + projection)."""
+def save_autoencoder(
+    autoencoder: QuantumAutoencoder,
+    path: PathLike,
+    extra: Optional[dict] = None,
+) -> Path:
+    """Serialise a full autoencoder (both networks + projection + pipeline).
+
+    Returns the written path (``.npz`` appended when missing, matching
+    ``np.savez``).
+
+    Since format v2 the archive also carries ``renormalize`` and the
+    execution ``backend`` name, so a round-tripped autoencoder produces
+    bit-identical outputs; ``extra`` (any JSON-serialisable mapping) rides
+    along in the header for callers layering richer artefacts on the same
+    container.
+    """
     meta = {
         "format_version": _FORMAT_VERSION,
         "kind": "QuantumAutoencoder",
@@ -103,19 +175,40 @@ def save_autoencoder(autoencoder: QuantumAutoencoder, path: PathLike) -> None:
         "reconstruction_layers": autoencoder.ur.num_layers,
         "allow_phase": autoencoder.uc.allow_phase,
         "keep": autoencoder.projection.keep.tolist(),
+        "renormalize": autoencoder.renormalize,
+        "backend": autoencoder.backend_name,
     }
-    np.savez(
-        Path(path),
-        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        params=np.concatenate(
+    if extra:
+        meta["extra"] = extra
+    return _write_archive(
+        path,
+        meta,
+        np.concatenate(
             [autoencoder.uc.get_flat_params(), autoencoder.ur.get_flat_params()]
         ),
     )
 
 
 def load_autoencoder(path: PathLike) -> QuantumAutoencoder:
-    """Load an autoencoder saved by :func:`save_autoencoder`."""
-    with np.load(Path(path)) as archive:
+    """Load an autoencoder saved by :func:`save_autoencoder`.
+
+    v1 archives (which predate the pipeline-state fields) load with
+    ``renormalize=False`` and the ``"loop"`` backend — the defaults every
+    v1-era autoencoder actually ran with.
+    """
+    return load_autoencoder_with_meta(path)[0]
+
+
+def load_autoencoder_with_meta(
+    path: PathLike,
+) -> tuple[QuantumAutoencoder, dict]:
+    """Like :func:`load_autoencoder`, also returning the metadata header.
+
+    One archive read serves callers that need both (e.g.
+    :meth:`repro.api.Codec.load`, which reconstructs its spec from the
+    v2 ``extra`` mapping).
+    """
+    with np.load(_read_path(path)) as archive:
         meta = _read_meta(archive, "QuantumAutoencoder")
         ae = QuantumAutoencoder(
             dim=int(meta["dim"]),
@@ -124,6 +217,8 @@ def load_autoencoder(path: PathLike) -> QuantumAutoencoder:
             reconstruction_layers=int(meta["reconstruction_layers"]),
             projection=Projection(int(meta["dim"]), meta["keep"]),
             allow_phase=bool(meta["allow_phase"]),
+            backend=str(meta.get("backend", "loop")),
+            renormalize=bool(meta.get("renormalize", False)),
         )
         params = np.asarray(archive["params"], dtype=np.float64)
         n_uc = ae.uc.num_parameters
@@ -133,4 +228,4 @@ def load_autoencoder(path: PathLike) -> QuantumAutoencoder:
             )
         ae.uc.set_flat_params(params[:n_uc])
         ae.ur.set_flat_params(params[n_uc:])
-    return ae
+    return ae, meta

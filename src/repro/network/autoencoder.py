@@ -32,7 +32,28 @@ __all__ = [
     "ReconstructionNetwork",
     "QuantumAutoencoder",
     "AutoencoderOutput",
+    "renormalization_norms",
 ]
+
+
+def renormalization_norms(
+    columns: np.ndarray, error_cls: type = NetworkConfigError
+) -> np.ndarray:
+    """Column norms for post-selection renormalisation, guarded.
+
+    The single source of the near-zero cutoff, shared by the eager
+    pipeline and the compiled serving path
+    (:class:`repro.api.InferenceSession`) so the two can never diverge
+    on which samples are renormalisable; callers pass their own error
+    class.
+    """
+    norms = np.linalg.norm(columns, axis=0)
+    if np.any(norms < 1e-12):
+        raise error_cls(
+            "a sample has (near-)zero amplitude in the kept subspace; "
+            "cannot renormalise"
+        )
+    return norms
 
 
 class CompressionNetwork:
@@ -80,13 +101,7 @@ class CompressionNetwork:
         out = self.network.forward(arr)
         self.projection.apply_inplace(out)
         if renormalize:
-            norms = np.linalg.norm(out, axis=0)
-            if np.any(norms < 1e-12):
-                raise NetworkConfigError(
-                    "a sample has (near-)zero amplitude in the kept subspace; "
-                    "cannot renormalise"
-                )
-            out /= norms
+            out /= renormalization_norms(out)
         return out
 
     def compact_codes(self, data: np.ndarray | StateBatch) -> np.ndarray:
@@ -134,13 +149,19 @@ class AutoencoderOutput:
     encoded:
         The amplitude-encoded inputs (states + retained norms).
     compressed:
-        ``(N, M)`` projected states ``P1 U_C A`` (sub-normalised columns).
+        ``(N, M)`` projected states ``P1 U_C A`` (sub-normalised columns;
+        unit columns when the pipeline renormalises).
     compact_codes:
         ``(d, M)`` kept amplitudes — the compressed image data.
     output_amplitudes:
         ``(N, M)`` reconstruction-network outputs ``B``.
     x_hat:
         ``(M, N)`` decoded classical reconstruction (Eq. 2).
+    retained_probability:
+        ``(M,)`` per-sample probability mass kept by ``P1`` (1 - the
+        paper's compression information loss).  Always measured *before*
+        any renormalisation — a ``renormalize=True`` pipeline still
+        reports its true compression loss here.
     """
 
     encoded: EncodedBatch
@@ -148,11 +169,7 @@ class AutoencoderOutput:
     compact_codes: np.ndarray
     output_amplitudes: np.ndarray
     x_hat: np.ndarray
-
-    @property
-    def retained_probability(self) -> np.ndarray:
-        """Per-sample compressed-state norm^2 (mass kept by ``P1``)."""
-        return np.linalg.norm(self.compressed, axis=0) ** 2
+    retained_probability: np.ndarray
 
 
 class QuantumAutoencoder:
@@ -174,6 +191,10 @@ class QuantumAutoencoder:
         Execution backend for both networks (``"loop"`` or ``"fused"``,
         see :mod:`repro.backends`); switchable later via
         :meth:`set_backend`.
+    renormalize:
+        If True, :meth:`forward` renormalises the projected state to unit
+        norm (physical post-selection on the kept modes) before ``U_R``;
+        the paper's Eq. 4 default feeds the sub-normalised state as-is.
 
     Examples
     --------
@@ -195,6 +216,7 @@ class QuantumAutoencoder:
         projection: Optional[Projection] = None,
         allow_phase: bool = False,
         backend: str = "loop",
+        renormalize: bool = False,
     ) -> None:
         dim = check_power_of_two(dim, name="dim")
         if projection is None:
@@ -221,6 +243,7 @@ class QuantumAutoencoder:
         )
         self.compression = CompressionNetwork(self.uc, projection)
         self.reconstruction = ReconstructionNetwork(self.ur)
+        self.renormalize = bool(renormalize)
 
     # ------------------------------------------------------------------
     @property
@@ -277,6 +300,14 @@ class QuantumAutoencoder:
                 f"encoded dim {encoded.dim} != autoencoder dim {self.dim}"
             )
         compressed = self.compression.compress(encoded.states)
+        # Retained mass is a property of the *projection*, measured before
+        # any renormalisation (which would trivially report 1).
+        if self.renormalize:
+            norms = renormalization_norms(compressed)
+            retained = norms**2
+            compressed /= norms
+        else:
+            retained = np.linalg.norm(compressed, axis=0) ** 2
         codes = self.projection.restrict(compressed)
         b = self.reconstruction.reconstruct(compressed)
         x_hat = decode_batch(b, encoded.squared_norms)
@@ -286,6 +317,7 @@ class QuantumAutoencoder:
             compact_codes=codes,
             output_amplitudes=b,
             x_hat=x_hat,
+            retained_probability=retained,
         )
 
     def reconstruct_from_codes(

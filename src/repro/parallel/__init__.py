@@ -11,10 +11,11 @@ sweeps with processes), this subpackage provides:
   the ablation experiments.
 """
 
-from repro.parallel.batch import chunked_forward, ChunkedPipeline
+from repro.parallel.batch import chunked_apply, chunked_forward, ChunkedPipeline
 from repro.parallel.sweep import SweepResult, run_sweep, sweep_grid
 
 __all__ = [
+    "chunked_apply",
     "chunked_forward",
     "ChunkedPipeline",
     "SweepResult",

@@ -18,7 +18,53 @@ from repro.exceptions import DimensionError
 from repro.network.autoencoder import QuantumAutoencoder
 from repro.network.quantum_network import QuantumNetwork
 
-__all__ = ["chunked_forward", "ChunkedPipeline"]
+__all__ = ["chunked_apply", "chunked_forward", "ChunkedPipeline"]
+
+
+def chunked_apply(
+    matrix: np.ndarray,
+    data: np.ndarray,
+    chunk_size: int = 4096,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """``matrix @ data`` computed in column chunks of ``data``.
+
+    The dense-operator analogue of :func:`chunked_forward`: peak extra
+    memory is bounded by one ``(rows, chunk_size)`` block, so oversized
+    serving ticks (see :class:`repro.api.MicroBatcher`) stream through a
+    precompiled operator without materialising a second full-width batch.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> m, x = rng.normal(size=(3, 4)), rng.normal(size=(4, 10))
+    >>> bool(np.allclose(chunked_apply(m, x, chunk_size=3), m @ x))
+    True
+    """
+    if chunk_size < 1:
+        raise DimensionError(f"chunk_size must be >= 1, got {chunk_size}")
+    mat = np.asarray(matrix)
+    arr = np.asarray(data)
+    if mat.ndim != 2 or arr.ndim != 2 or mat.shape[1] != arr.shape[0]:
+        raise DimensionError(
+            f"cannot apply {mat.shape} operator to {arr.shape} batch"
+        )
+    dtype = np.result_type(mat.dtype, arr.dtype)
+    shape = (mat.shape[0], arr.shape[1])
+    if out is None:
+        out = np.empty(shape, dtype=dtype)
+    elif out.shape != shape:
+        raise DimensionError(f"out shape {out.shape} != result shape {shape}")
+    elif not np.can_cast(dtype, out.dtype, casting="safe"):
+        raise DimensionError(
+            f"out buffer dtype {out.dtype} cannot safely hold the {dtype} "
+            "product"
+        )
+    for start in range(0, arr.shape[1], chunk_size):
+        stop = min(start + chunk_size, arr.shape[1])
+        np.matmul(mat, arr[:, start:stop], out=out[:, start:stop])
+    return out
 
 
 def chunked_forward(

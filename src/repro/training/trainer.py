@@ -390,7 +390,11 @@ class Trainer:
                 t_c,
                 autoencoder.projection,
             )
-            compressed = autoencoder.compression.compress(x_c)
+            # U_R trains on the same inputs inference feeds it, including
+            # the renormalize (post-selection) variant.
+            compressed = autoencoder.compression.compress(
+                x_c, renormalize=autoencoder.renormalize
+            )
             loss_r, gnorm_r = self._grad_step(
                 autoencoder.ur, opt_r, compressed,
                 a_in if x_c is a_in else a_in[:, idx], None
@@ -453,7 +457,9 @@ class Trainer:
                 and it % self.record_theta_every == 0
             ):
                 history.theta_c.append(autoencoder.uc.get_flat_params())
-        compressed = autoencoder.compression.compress(a_in)
+        compressed = autoencoder.compression.compress(
+            a_in, renormalize=autoencoder.renormalize
+        )
         opt_r = self.optimizer_factory()
         for it in range(self.iterations):
             loss_r, gnorm_r = self._grad_step(

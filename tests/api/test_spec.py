@@ -1,0 +1,154 @@
+"""Tests for repro.api.spec (CodecSpec)."""
+
+import numpy as np
+import pytest
+
+from repro.api.spec import CodecSpec
+from repro.exceptions import NetworkConfigError
+from repro.experiments.config import PaperConfig
+from repro.network.projection import Projection
+
+
+class TestValidation:
+    def test_paper_defaults(self):
+        spec = CodecSpec()
+        assert (spec.dim, spec.compressed_dim) == (16, 4)
+        assert (spec.compression_layers, spec.reconstruction_layers) == (12, 14)
+        assert spec.backend == "loop"
+        assert spec.grad_engine == "batched"
+
+    def test_compressed_dim_must_be_smaller(self):
+        with pytest.raises(NetworkConfigError):
+            CodecSpec(dim=4, compressed_dim=4)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"iterations": 0},
+            {"learning_rate": 0.0},
+            {"optimizer": "sgd"},
+            {"target": "magic"},
+            {"loss_mode": "median"},
+            {"backend": "quantum-annealer"},
+            {"grad_engine": "vectorised"},
+            {"gradient_method": "spsa"},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(NetworkConfigError):
+            CodecSpec(**kwargs)
+
+    def test_projection_length_must_match(self):
+        with pytest.raises(NetworkConfigError):
+            CodecSpec(dim=8, compressed_dim=2, projection=(0, 1, 2))
+
+    def test_projection_indices_validated(self):
+        with pytest.raises(Exception):
+            CodecSpec(dim=8, compressed_dim=2, projection=(6, 99))
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CodecSpec().dim = 8
+
+
+class TestRoundTrip:
+    def test_with_updates(self):
+        spec = CodecSpec().with_(backend="fused", iterations=7)
+        assert spec.backend == "fused"
+        assert spec.iterations == 7
+        assert CodecSpec().backend == "loop"  # original untouched
+
+    def test_dict_round_trip(self):
+        spec = CodecSpec(
+            dim=8,
+            compressed_dim=3,
+            projection=(1, 4, 6),
+            allow_phase=True,
+            renormalize=True,
+            backend="fused",
+            loss_mode="mean",
+        )
+        assert CodecSpec.from_dict(spec.to_dict()) == spec
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        json.dumps(CodecSpec(projection=(12, 13, 14, 15)).to_dict())
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(NetworkConfigError):
+            CodecSpec.from_dict({"quantisation": 8})
+
+    def test_hashable(self):
+        assert hash(CodecSpec()) == hash(CodecSpec())
+
+
+class TestFactories:
+    def test_build_projection_default_is_last(self):
+        assert CodecSpec(dim=8, compressed_dim=2).build_projection() == (
+            Projection.last(8, 2)
+        )
+
+    def test_build_projection_explicit(self):
+        spec = CodecSpec(dim=8, compressed_dim=2, projection=(0, 5))
+        assert spec.build_projection().keep.tolist() == [0, 5]
+
+    def test_build_autoencoder_wires_everything(self):
+        spec = CodecSpec(
+            dim=8,
+            compressed_dim=2,
+            compression_layers=3,
+            reconstruction_layers=2,
+            allow_phase=True,
+            renormalize=True,
+            backend="fused",
+        )
+        ae = spec.build_autoencoder()
+        assert ae.dim == 8
+        assert ae.compressed_dim == 2
+        assert ae.uc.num_layers == 3
+        assert ae.ur.num_layers == 2
+        assert ae.uc.allow_phase and ae.ur.allow_phase
+        assert ae.renormalize
+        assert ae.backend_name == "fused"
+
+    def test_build_trainer_carries_exec_knobs(self):
+        trainer = CodecSpec(
+            gradient_method="central",
+            grad_engine="looped",
+            backend="fused",
+            iterations=9,
+            loss_mode="mean",
+        ).build_trainer()
+        assert trainer.iterations == 9
+        assert trainer.gradient_method == "central"
+        assert trainer.grad_engine == "looped"
+        assert trainer.backend == "fused"
+
+
+class TestPaperConfigDelegation:
+    """PaperConfig must be a thin layer over the same code path."""
+
+    def test_from_paper_config_fields(self):
+        cfg = PaperConfig(backend="fused", optimizer="adam", iterations=42)
+        spec = CodecSpec.from_paper_config(cfg)
+        assert spec.backend == "fused"
+        assert spec.optimizer == "adam"
+        assert spec.iterations == 42
+        assert spec.seed == cfg.seed
+
+    def test_codec_spec_method(self):
+        assert PaperConfig().codec_spec() == CodecSpec.from_paper_config(
+            PaperConfig()
+        )
+
+    def test_build_autoencoder_identical_params(self):
+        cfg = PaperConfig()
+        via_config = cfg.build_autoencoder()
+        via_spec = cfg.codec_spec().build_autoencoder()
+        assert np.array_equal(
+            via_config.uc.get_flat_params(), via_spec.uc.get_flat_params()
+        )
+        assert np.array_equal(
+            via_config.ur.get_flat_params(), via_spec.ur.get_flat_params()
+        )

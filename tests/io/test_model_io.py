@@ -1,5 +1,7 @@
 """Tests for repro.io.model_io."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -7,10 +9,32 @@ from repro.exceptions import SerializationError
 from repro.io.model_io import (
     load_autoencoder,
     load_network,
+    read_model_meta,
     save_autoencoder,
     save_network,
 )
 from repro.network import Projection, QuantumAutoencoder, QuantumNetwork
+
+
+def _write_v1_autoencoder(path, ae):
+    """A byte-faithful v1 archive (no renormalize/backend fields)."""
+    meta = {
+        "format_version": 1,
+        "kind": "QuantumAutoencoder",
+        "dim": ae.dim,
+        "compressed_dim": ae.compressed_dim,
+        "compression_layers": ae.uc.num_layers,
+        "reconstruction_layers": ae.ur.num_layers,
+        "allow_phase": ae.uc.allow_phase,
+        "keep": ae.projection.keep.tolist(),
+    }
+    np.savez(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        params=np.concatenate(
+            [ae.uc.get_flat_params(), ae.ur.get_flat_params()]
+        ),
+    )
 
 
 class TestNetworkRoundtrip:
@@ -84,3 +108,75 @@ class TestAutoencoderRoundtrip:
         save_network(net, path)
         with pytest.raises(SerializationError, match="QuantumAutoencoder"):
             load_autoencoder(path)
+
+
+class TestPipelineStatePersistence:
+    """format v2: renormalize + backend survive the round trip."""
+
+    def test_renormalize_and_backend_round_trip(self, tmp_path, rng):
+        ae = QuantumAutoencoder(
+            8, 2, 2, 2, backend="fused", renormalize=True
+        ).initialize("uniform", rng=rng)
+        path = tmp_path / "ae.npz"
+        save_autoencoder(ae, path)
+        clone = load_autoencoder(path)
+        assert clone.renormalize is True
+        assert clone.backend_name == "fused"
+
+    def test_renormalizing_roundtrip_outputs_identical(self, tmp_path, rng):
+        ae = QuantumAutoencoder(8, 2, 2, 2, renormalize=True).initialize(
+            "uniform", rng=rng
+        )
+        X = np.abs(rng.normal(size=(5, 8))) + 0.1
+        path = tmp_path / "ae.npz"
+        save_autoencoder(ae, path)
+        clone = load_autoencoder(path)
+        # v1's bug: renormalize was dropped, so the reloaded pipeline fed
+        # the sub-normalised state to U_R and produced different outputs.
+        assert np.array_equal(
+            clone.forward(X).x_hat, ae.forward(X).x_hat
+        )
+
+    def test_network_backend_round_trip(self, tmp_path, rng):
+        net = QuantumNetwork(4, 2, backend="fused").initialize(
+            "uniform", rng=rng
+        )
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        assert load_network(path).backend.name == "fused"
+
+    def test_v1_archive_loads_with_defaults(self, tmp_path, rng):
+        ae = QuantumAutoencoder(8, 2, 2, 2).initialize("uniform", rng=rng)
+        path = tmp_path / "v1.npz"
+        _write_v1_autoencoder(path, ae)
+        clone = load_autoencoder(path)
+        assert clone.renormalize is False
+        assert clone.backend_name == "loop"
+        X = np.abs(rng.normal(size=(4, 8))) + 0.1
+        assert np.array_equal(clone.forward(X).x_hat, ae.forward(X).x_hat)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        meta = {"format_version": 3, "kind": "QuantumNetwork"}
+        path = tmp_path / "v3.npz"
+        np.savez(
+            path,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            params=np.zeros(3),
+        )
+        with pytest.raises(SerializationError, match="version"):
+            load_network(path)
+
+    def test_extra_meta_round_trips(self, tmp_path, rng):
+        ae = QuantumAutoencoder(4, 2, 1, 1).initialize("uniform", rng=rng)
+        path = tmp_path / "ae.npz"
+        save_autoencoder(ae, path, extra={"note": {"tag": "v2-test"}})
+        meta = read_model_meta(path, "QuantumAutoencoder")
+        assert meta["extra"]["note"]["tag"] == "v2-test"
+        assert meta["format_version"] == 2
+
+    def test_read_model_meta_checks_kind(self, tmp_path, rng):
+        net = QuantumNetwork(4, 1)
+        path = tmp_path / "net.npz"
+        save_network(net, path)
+        with pytest.raises(SerializationError, match="QuantumAutoencoder"):
+            read_model_meta(path, "QuantumAutoencoder")

@@ -8,6 +8,7 @@ import pytest
 import repro
 
 SUBPACKAGES = [
+    "repro.api",
     "repro.simulator",
     "repro.optics",
     "repro.encoding",
