@@ -64,16 +64,20 @@ def measure_serving(
     autoencoder: QuantumAutoencoder,
     requests: np.ndarray,
     max_batch_size: int,
+    pool=None,
 ) -> Dict:
     """Time both serving paths on the same request stream.
 
     Correctness first (the outputs are compared before anything is
     timed), then each path runs once against the clock; the timed
     session is a fresh compile so its tick stats cover exactly the
-    measured pass.
+    measured pass.  A :class:`~repro.parallel.pool.WorkerPool` is
+    attached to both sessions when given (oversized ticks scatter to
+    worker shards — see ``docs/sharding.md``).
     """
     session = InferenceSession(
-        autoencoder, max_batch_size=max_batch_size, flush_latency=None
+        autoencoder, max_batch_size=max_batch_size, flush_latency=None,
+        pool=pool,
     )
     eager_out = serve_eager(autoencoder, requests)
     session_out = serve_session(session, requests)
@@ -84,7 +88,8 @@ def measure_serving(
     eager_seconds = time.perf_counter() - t0
 
     timed_session = InferenceSession(
-        autoencoder, max_batch_size=max_batch_size, flush_latency=None
+        autoencoder, max_batch_size=max_batch_size, flush_latency=None,
+        pool=pool,
     )
     t0 = time.perf_counter()
     serve_session(timed_session, requests)

@@ -323,6 +323,11 @@ class Codec:
         spec_dict = extra.get("spec")
         if spec_dict is not None:
             spec = CodecSpec.from_dict(spec_dict)
+            # The archive header only stores the backend's registry name;
+            # the spec keeps the full spelling (e.g. 'sharded:4'), so
+            # restore any configuration the header spelling dropped.
+            if spec.backend != ae.backend_name:
+                ae.set_backend(spec.backend)
         else:
             spec = CodecSpec(
                 dim=ae.dim,
@@ -348,7 +353,7 @@ class Codec:
         """Compile an immutable :class:`~repro.api.session.InferenceSession`.
 
         Keyword arguments are forwarded (``max_batch_size``,
-        ``flush_latency``, ``chunk_size``).
+        ``flush_latency``, ``chunk_size``, ``pool``).
         """
         from repro.api.session import InferenceSession
 

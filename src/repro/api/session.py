@@ -15,7 +15,11 @@ The session snapshots the network at construction: later parameter
 updates (continued training, ``set_flat_params``) do **not** leak into a
 live session — rebuild one per deployed model version.  Oversized ticks
 stream through :func:`repro.parallel.batch.chunked_apply` so a burst of
-requests never materialises more than one ``(N, chunk_size)`` block.
+requests never materialises more than one ``(N, chunk_size)`` block —
+or, when a :class:`~repro.parallel.pool.WorkerPool` is attached,
+*scatter* to column shards that the worker processes compute
+concurrently (the operators ship to the workers once per pool, so a
+serving loop pays only the batch transfer per tick).
 """
 
 from __future__ import annotations
@@ -62,6 +66,13 @@ class InferenceSession:
     chunk_size:
         Column-chunk bound for oversized batches (memory ceiling, not a
         truncation — every sample is always served).
+    pool:
+        Optional :class:`~repro.parallel.pool.WorkerPool`.  When
+        attached, ticks wider than ``chunk_size`` scatter their column
+        shards across the pool's worker processes instead of streaming
+        through in-process chunks; narrower ticks stay in-process.  The
+        pool is borrowed, not owned — the caller controls its lifecycle
+        (it may be shared with a ``sharded`` execution backend).
 
     Examples
     --------
@@ -80,9 +91,11 @@ class InferenceSession:
         max_batch_size: int = 64,
         flush_latency: Optional[float] = 0.005,
         chunk_size: int = 4096,
+        pool=None,
     ) -> None:
         if chunk_size < 1:
             raise ServingError(f"chunk_size must be >= 1, got {chunk_size}")
+        self._pool = pool
         self._dim = autoencoder.dim
         self._compressed_dim = autoencoder.compressed_dim
         self._renormalize = autoencoder.renormalize
@@ -129,6 +142,11 @@ class InferenceSession:
     def chunk_size(self) -> int:
         return self._chunk_size
 
+    @property
+    def pool(self):
+        """The attached :class:`WorkerPool`, or ``None`` (in-process)."""
+        return self._pool
+
     def pipeline_operator(self) -> np.ndarray:
         """The folded ``U_R P1 U_C`` matrix (a copy; inspection only)."""
         return self._pipeline_op.copy()
@@ -137,8 +155,11 @@ class InferenceSession:
     # batch serving
     # ------------------------------------------------------------------
     def _apply(self, op: np.ndarray, batch: np.ndarray) -> np.ndarray:
-        # chunked_apply degenerates to one matmul when the batch fits in
-        # a single chunk, so no fast-path branch is needed.
+        # Oversized ticks scatter across the attached worker pool; the
+        # single-process path streams through chunked_apply, which
+        # degenerates to one matmul when the batch fits in a chunk.
+        if self._pool is not None and batch.shape[1] > self._chunk_size:
+            return self._pool.apply_dense(op, batch)
         return chunked_apply(op, batch, chunk_size=self._chunk_size)
 
     def _code_norms(self, codes: np.ndarray) -> np.ndarray:
@@ -224,8 +245,12 @@ class InferenceSession:
         self.close()
 
     def __repr__(self) -> str:
+        sharding = (
+            "" if self._pool is None
+            else f", pool={self._pool.processes} workers"
+        )
         return (
             f"InferenceSession(dim={self._dim}, d={self._compressed_dim}, "
             f"renormalize={self._renormalize}, "
-            f"chunk_size={self._chunk_size})"
+            f"chunk_size={self._chunk_size}{sharding})"
         )

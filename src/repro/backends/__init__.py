@@ -10,6 +10,9 @@ This package separates network *structure* from *execution*:
   two-row kernels, the seed implementation's strategy);
 - :mod:`repro.backends.fused` — cached whole-network unitary applied as a
   single GEMM, plus the prefix/suffix gradient workspace;
+- :mod:`repro.backends.sharded` — wide batches column-scattered over a
+  persistent multi-process :class:`~repro.parallel.pool.WorkerPool`
+  (``"sharded"`` / ``"sharded:K"``), fused fallback for narrow ones;
 - :mod:`repro.backends.cached` — :class:`PrefixSuffixWorkspace`, the
   ``O(P)``-gate-work engine behind cached ``fd``/``central``/
   ``derivative`` gradients.
@@ -38,6 +41,7 @@ from repro.backends.cached import PrefixSuffixWorkspace
 from repro.backends.fused import FusedBackend
 from repro.backends.loop import LoopBackend
 from repro.backends.program import GateProgram, compile_program
+from repro.backends.sharded import ShardedBackend
 
 __all__ = [
     "Backend",
@@ -49,5 +53,6 @@ __all__ = [
     "validate_backend_name",
     "LoopBackend",
     "FusedBackend",
+    "ShardedBackend",
     "PrefixSuffixWorkspace",
 ]

@@ -7,7 +7,7 @@ backend and notifies it via :meth:`Backend.invalidate` when parameters
 change, so backends may cache parameter-derived artefacts (fused unitaries,
 prefix/suffix products) between calls.
 
-Two backends ship with the package:
+Three backends ship with the package:
 
 ``"loop"``
     :class:`~repro.backends.loop.LoopBackend` — the bit-exact reference:
@@ -17,10 +17,18 @@ Two backends ship with the package:
     network as one ``N x N`` unitary (cached per parameter set) and applies
     it as a single GEMM; also provides the prefix/suffix gradient workspace
     used to accelerate the ``fd``/``central``/``derivative`` methods.
+``"sharded"``
+    :class:`~repro.backends.sharded.ShardedBackend` — scatters wide
+    ``(N, M)`` batches over a persistent multi-process
+    :class:`~repro.parallel.pool.WorkerPool` in column shards, one fused
+    GEMM per worker; small batches fall through to the in-process fused
+    path.
 
 Select a backend at construction (``QuantumNetwork(..., backend="fused")``)
 or later via ``set_backend``; experiment configs and the CLI expose the same
-choice (``--backend``).
+choice (``--backend``).  A name may carry a ``:argument`` suffix parsed by
+the backend class (``"sharded:4"`` pins four workers); backends that take
+no argument reject the suffix.
 """
 
 from __future__ import annotations
@@ -112,9 +120,23 @@ class Backend(abc.ABC):
         Used when a network clones itself (``copy``/``reversed_structure``)
         and needs an equivalent backend for the clone.  Backends whose
         constructor takes configuration must override this to carry it
-        over.
+        over (and may share heavyweight resources — the sharded backend's
+        spawns execute on the same worker pool).
         """
         return type(self)()
+
+    @classmethod
+    def from_spec(cls, arg: str) -> "Backend":
+        """Build an instance from a ``name:arg`` registry spelling.
+
+        The default rejects any argument; backends that are configurable
+        from the registry string (``"sharded:4"``) override this to
+        parse it.
+        """
+        raise BackendError(
+            f"backend {cls.name!r} takes no ':' argument (got "
+            f"{cls.name}:{arg})"
+        )
 
     # ------------------------------------------------------------------
     # execution
@@ -187,16 +209,39 @@ def available_backends() -> List[str]:
     Examples
     --------
     >>> available_backends()
-    ['fused', 'loop']
+    ['fused', 'loop', 'sharded']
     """
     return sorted(_REGISTRY)
+
+
+def _resolve_spec_string(spec: str, error_cls: Type[Exception]) -> Backend:
+    """Parse ``"name"`` / ``"name:arg"`` into a fresh backend instance."""
+    key = str(spec).lower()
+    base, sep, arg = key.partition(":")
+    if base not in _REGISTRY:
+        raise error_cls(
+            f"unknown backend {spec!r}; available: {available_backends()}"
+        )
+    cls = _REGISTRY[base]
+    if not sep:
+        return cls()
+    try:
+        return cls.from_spec(arg)
+    except BackendError as exc:
+        # Re-raise under the caller's error class (config layers pass
+        # e.g. ExperimentError) without losing the parse message.
+        if error_cls is BackendError:
+            raise
+        raise error_cls(str(exc)) from None
 
 
 def make_backend(spec: Union[str, Backend, Type[Backend]]) -> Backend:
     """Resolve a backend *specification* into a fresh, unbound instance.
 
-    Accepts a registry name (``"loop"``, ``"fused"``), a ``Backend``
-    subclass, or an existing unbound instance (passed through).
+    Accepts a registry name (``"loop"``, ``"fused"``, ``"sharded"`` —
+    optionally with a class-parsed argument suffix like ``"sharded:4"``),
+    a ``Backend`` subclass, or an existing unbound instance (passed
+    through).
 
     Examples
     --------
@@ -205,22 +250,24 @@ def make_backend(spec: Union[str, Backend, Type[Backend]]) -> Backend:
     >>> from repro.backends.loop import LoopBackend
     >>> make_backend(LoopBackend)
     LoopBackend(name='loop', unbound)
+    >>> make_backend("sharded:2").worker_count
+    2
     >>> make_backend("quantum-annealer")
     Traceback (most recent call last):
         ...
     repro.exceptions.BackendError: unknown backend 'quantum-annealer'; \
-available: ['fused', 'loop']
+available: ['fused', 'loop', 'sharded']
+    >>> make_backend("loop:3")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.BackendError: backend 'loop' takes no ':' argument \
+(got loop:3)
     """
     if isinstance(spec, Backend):
         return spec
     if isinstance(spec, type) and issubclass(spec, Backend):
         return spec()
-    key = str(spec).lower()
-    if key not in _REGISTRY:
-        raise BackendError(
-            f"unknown backend {spec!r}; available: {available_backends()}"
-        )
-    return _REGISTRY[key]()
+    return _resolve_spec_string(spec, BackendError)
 
 
 def validate_backend_name(
@@ -229,13 +276,15 @@ def validate_backend_name(
     """Check ``name`` against the registry; returns the normalised name.
 
     The single source of truth for config/sweep-level validation — same
-    case-insensitive lookup and message as :func:`make_backend`, so the
-    registry and its error never drift apart.  Callers in higher layers
-    pass their own ``error_cls`` (e.g. ``ExperimentError``).
+    case-insensitive lookup, ``:argument`` parsing and message as
+    :func:`make_backend`, so the registry and its error never drift
+    apart.  Callers in higher layers pass their own ``error_cls`` (e.g.
+    ``ExperimentError``).
+
+    Examples
+    --------
+    >>> validate_backend_name("SHARDED:4")
+    'sharded:4'
     """
-    key = str(name).lower()
-    if key not in _REGISTRY:
-        raise error_cls(
-            f"unknown backend {name!r}; available: {available_backends()}"
-        )
-    return key
+    _resolve_spec_string(name, error_cls)
+    return str(name).lower()

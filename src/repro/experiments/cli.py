@@ -36,7 +36,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.backends import available_backends
+from repro.backends import available_backends, validate_backend_name
 from repro.exceptions import ReproError, SerializationError
 from repro.experiments import ablations
 from repro.training.gradients import (
@@ -69,6 +69,15 @@ _ABLATION_STUDIES = {
 }
 
 
+def _backend_spec(value: str) -> str:
+    """argparse type for ``--backend``: registry names plus ``name:arg``
+    spellings (``sharded:4``), validated against the backend registry."""
+    try:
+        return validate_backend_name(value)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -84,7 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
             "  --backend      'loop' is the bit-exact reference; 'fused' "
             "caches the\n"
             "                 network unitary and the prefix/suffix gradient "
-            "workspace.\n"
+            "workspace;\n"
+            "                 'sharded[:K]' scatters wide (N, M) batches "
+            "over K worker\n"
+            "                 processes (shared-memory column shards, one "
+            "fused GEMM\n"
+            "                 each; see docs/sharding.md).\n"
             "  --grad-engine  how workspace-backed gradients are driven: "
             "'batched'\n"
             "                 (default) stacks each layer's parameter "
@@ -116,12 +130,14 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--backend",
-            choices=available_backends(),
+            type=_backend_spec,
+            metavar="{" + ",".join(available_backends()) + "}[:arg]",
             default="loop",
             help=(
                 "execution backend: 'loop' is the bit-exact reference, "
                 "'fused' caches the network unitary and prefix/suffix "
-                "gradient products (fast)"
+                "gradient products (fast), 'sharded[:K]' scatters wide "
+                "batches over K worker processes"
             ),
         )
         p.add_argument(
@@ -204,6 +220,19 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=2024)
     ps.add_argument("--output", type=str, default=None,
                     help="write the benchmark JSON to this file")
+    # Checkpoint-consuming commands can override the archived execution
+    # backend (e.g. run a 'loop'-trained model on 'sharded:4' workers).
+    for p in (pc, pd, ps):
+        p.add_argument(
+            "--backend",
+            type=_backend_spec,
+            metavar="{" + ",".join(available_backends()) + "}[:arg]",
+            default=None,
+            help=(
+                "override the checkpoint's execution backend "
+                "('loop', 'fused', 'sharded[:K]')"
+            ),
+        )
     return parser
 
 
@@ -226,6 +255,25 @@ def _default_dataset(dim: int, seed: int) -> np.ndarray:
 
     image_size = int(round(np.sqrt(dim)))
     return paper_dataset(image_size=image_size, seed=seed).matrix()
+
+
+def _apply_backend_override(codec, backend: Optional[str]):
+    """Swap a loaded codec onto ``backend``; returns its sharded worker
+    pool (for session attachment) when one is behind the new backend."""
+    from repro.backends.sharded import ShardedBackend
+
+    if backend is not None:
+        codec.autoencoder.set_backend(backend)
+    bound = codec.autoencoder.uc.backend
+    return bound.pool if isinstance(bound, ShardedBackend) else None
+
+
+def _close_backend(codec) -> None:
+    """Release worker processes a sharded backend may have spawned."""
+    backend = codec.autoencoder.uc.backend
+    close = getattr(backend, "close", None)
+    if close is not None:
+        close()
 
 
 def _run_train(args: argparse.Namespace) -> dict:
@@ -258,6 +306,7 @@ def _run_train(args: argparse.Namespace) -> dict:
           f"L_R={codec.last_result.final_loss_r:.6f} "
           f"accuracy={metrics['accuracy']:.2f}%")
     print(f"checkpoint written to {written}")
+    _close_backend(codec)
     return {
         "seconds": seconds,
         "loss_c": codec.last_result.final_loss_c,
@@ -270,6 +319,7 @@ def _run_compress(args: argparse.Namespace) -> dict:
     from repro.api import Codec
 
     codec = Codec.load(args.checkpoint)
+    _apply_backend_override(codec, args.backend)
     if args.input:
         results = load_results(args.input)
         if "X" not in results:
@@ -288,6 +338,7 @@ def _run_compress(args: argparse.Namespace) -> dict:
           f"(+1 norm scalar) per sample "
           f"({codec.compression_ratio():.0%} ratio)")
     print(f"payload written to {args.output}")
+    _close_backend(codec)
     return results
 
 
@@ -295,6 +346,7 @@ def _run_decompress(args: argparse.Namespace) -> dict:
     from repro.api import Codec, CompressedBatch
 
     codec = Codec.load(args.checkpoint)
+    _apply_backend_override(codec, args.backend)
     payload = CompressedBatch.from_results(load_results(args.codes))
     x_hat = codec.decompress(payload)
     print(f"decompressed {payload.num_samples} samples back to "
@@ -303,6 +355,7 @@ def _run_decompress(args: argparse.Namespace) -> dict:
     if args.output:
         save_results(results, args.output)
         print(f"reconstruction written to {args.output}")
+    _close_backend(codec)
     return results
 
 
@@ -314,9 +367,11 @@ def _run_serve_bench(args: argparse.Namespace) -> dict:
         codec = Codec.load(args.checkpoint)
     else:
         codec = Codec(seed=args.seed)
+    pool = _apply_backend_override(codec, args.backend)
     requests = synthetic_requests(args.requests, codec.dim, seed=args.seed)
     results = measure_serving(
-        codec.autoencoder, requests, max_batch_size=args.max_batch
+        codec.autoencoder, requests, max_batch_size=args.max_batch,
+        pool=pool,
     )
     print(f"eager   : {results['eager_req_per_s']:10.0f} req/s "
           f"(per-request QuantumAutoencoder.forward)")
@@ -324,6 +379,7 @@ def _run_serve_bench(args: argparse.Namespace) -> dict:
           f"(micro-batched single-GEMM ticks of <= {args.max_batch})")
     print(f"speedup : {results['speedup']:.1f}x "
           f"over {results['ticks']} ticks")
+    _close_backend(codec)
     return results
 
 

@@ -188,9 +188,12 @@ class QuantumAutoencoder:
     allow_phase:
         Enable the complex (trainable ``alpha``) extension.
     backend:
-        Execution backend for both networks (``"loop"`` or ``"fused"``,
-        see :mod:`repro.backends`); switchable later via
-        :meth:`set_backend`.
+        Execution backend for both networks (``"loop"``, ``"fused"``,
+        ``"sharded"``/``"sharded:K"`` — see :mod:`repro.backends`);
+        switchable later via :meth:`set_backend`.  ``U_R`` always runs a
+        :meth:`~repro.backends.Backend.spawn` of ``U_C``'s backend, so
+        backends with shared resources (the sharded worker pool) serve
+        both networks from one instance of those resources.
     renormalize:
         If True, :meth:`forward` renormalises the projected state to unit
         norm (physical post-selection on the kept modes) before ``U_R``;
@@ -227,19 +230,25 @@ class QuantumAutoencoder:
                 f"compressed_dim={compressed_dim}"
             )
         self.codec = AmplitudeCodec(dim)
+        # One resolved instance for U_C, a spawn for U_R: spawns share
+        # heavyweight backend state (the sharded backend's worker pool)
+        # instead of duplicating it per network.
+        from repro.backends import make_backend
+
+        uc_backend = make_backend(backend)
         self.uc = QuantumNetwork(
             dim,
             compression_layers,
             descending=False,
             allow_phase=allow_phase,
-            backend=backend,
+            backend=uc_backend,
         )
         self.ur = QuantumNetwork(
             dim,
             reconstruction_layers,
             descending=True,
             allow_phase=allow_phase,
-            backend=backend,
+            backend=uc_backend.spawn(),
         )
         self.compression = CompressionNetwork(self.uc, projection)
         self.reconstruction = ReconstructionNetwork(self.ur)
@@ -256,9 +265,17 @@ class QuantumAutoencoder:
         return self.uc.backend.name
 
     def set_backend(self, backend: str) -> "QuantumAutoencoder":
-        """Swap the execution backend of both ``U_C`` and ``U_R``."""
-        self.uc.set_backend(backend)
-        self.ur.set_backend(backend)
+        """Swap the execution backend of both ``U_C`` and ``U_R``.
+
+        As at construction, ``U_R`` receives a spawn of the instance
+        bound to ``U_C`` so shared backend resources (worker pools) are
+        built once.
+        """
+        from repro.backends import make_backend
+
+        uc_backend = make_backend(backend)
+        self.uc.set_backend(uc_backend)
+        self.ur.set_backend(uc_backend.spawn())
         return self
 
     @property

@@ -1,24 +1,37 @@
-"""HPC execution layer: chunked batch propagation and process-pool sweeps.
+"""HPC execution layer: chunking, sharding and process-pool execution.
 
 Following the scientific-Python optimisation guidance (vectorise across
 samples, bound working-set size, parallelise embarrassingly parallel
-sweeps with processes), this subpackage provides:
+work with processes), this subpackage provides:
 
 - :mod:`~repro.parallel.batch` — memory-bounded chunked propagation of
   large state batches through a network, with reusable workspaces;
+- :mod:`~repro.parallel.sharding` — column-shard planning for scattering
+  ``(N, M)`` batches across workers (pure index arithmetic);
+- :mod:`~repro.parallel.pool` — :class:`WorkerPool`, the persistent
+  spawn-context process pool with shared-memory block transfer, behind
+  both the ``sharded`` execution backend and pool-attached serving
+  sessions;
 - :mod:`~repro.parallel.sweep` — a seeded multiprocessing executor for
   parameter sweeps (layer counts, learning rates, noise levels), used by
-  the ablation experiments.
+  the ablation experiments and built on :class:`WorkerPool`.
 """
 
 from repro.parallel.batch import chunked_apply, chunked_forward, ChunkedPipeline
+from repro.parallel.pool import WorkerPool, default_worker_count
+from repro.parallel.sharding import Shard, plan_shards, shard_views
 from repro.parallel.sweep import SweepResult, run_sweep, sweep_grid
 
 __all__ = [
     "chunked_apply",
     "chunked_forward",
     "ChunkedPipeline",
+    "Shard",
     "SweepResult",
+    "WorkerPool",
+    "default_worker_count",
+    "plan_shards",
     "run_sweep",
+    "shard_views",
     "sweep_grid",
 ]

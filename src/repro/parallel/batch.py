@@ -152,16 +152,30 @@ class ChunkedPipeline:
         self.autoencoder = autoencoder
         self.chunk_size = int(chunk_size)
 
+    def _result_dtype(self) -> np.dtype:
+        """Pipeline output dtype: complex for phase-bearing autoencoders."""
+        return np.dtype(
+            np.complex128
+            if self.autoencoder.uc.allow_phase
+            else np.float64
+        )
+
     def reconstruct(self, X: np.ndarray) -> np.ndarray:
         """Encode, compress, reconstruct and decode ``X`` chunk by chunk."""
         mat = np.asarray(X, dtype=np.float64)
         if mat.ndim != 2:
             raise DimensionError(f"X must be (M, N), got shape {mat.shape}")
         m = mat.shape[0]
-        out = np.empty_like(mat)
+        # Allocate with the dtype the pipeline actually decodes to, not
+        # the input's (today decode_batch always yields float64; this
+        # keeps the buffer correct if a decode path ever returns signed
+        # or complex values instead of magnitudes).
+        out = np.empty_like(mat) if m == 0 else None
         for start in range(0, m, self.chunk_size):
             stop = min(start + self.chunk_size, m)
             result = self.autoencoder.forward(mat[start:stop])
+            if out is None:
+                out = np.empty(mat.shape, dtype=result.x_hat.dtype)
             out[start:stop] = result.x_hat
         return out
 
@@ -176,12 +190,7 @@ class ChunkedPipeline:
             raise DimensionError(f"X must be (M, N), got shape {mat.shape}")
         m = mat.shape[0]
         d = self.autoencoder.compressed_dim
-        dtype = (
-            np.complex128
-            if self.autoencoder.uc.allow_phase
-            else np.float64
-        )
-        out = np.empty((d, m), dtype=dtype)
+        out = np.empty((d, m), dtype=self._result_dtype())
         for start in range(0, m, self.chunk_size):
             stop = min(start + self.chunk_size, m)
             result = self.autoencoder.forward(mat[start:stop])

@@ -15,13 +15,13 @@ receives ``(config_dict, seed)`` and returns any picklable result.
 from __future__ import annotations
 
 import itertools
-import multiprocessing as mp
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.exceptions import ExperimentError
+from repro.parallel.pool import WorkerPool, default_worker_count
 from repro.utils.rng import DEFAULT_SEED
 
 __all__ = ["SweepResult", "sweep_grid", "run_sweep"]
@@ -39,21 +39,27 @@ class SweepResult:
 def sweep_grid(**axes: Sequence[Any]) -> List[Dict[str, Any]]:
     """Cartesian-product configurations from named axes.
 
+    Axis values may be any iterable — generators and other one-shot
+    iterators are materialised before use.
+
     Examples
     --------
     >>> grid = sweep_grid(layers=[2, 4], lr=[0.01])
     >>> len(grid), grid[0]
     (2, {'layers': 2, 'lr': 0.01})
+    >>> len(sweep_grid(layers=(n for n in (2, 4, 6))))
+    3
     """
     if not axes:
         raise ExperimentError("sweep_grid needs at least one axis")
-    names = list(axes)
-    for name, values in axes.items():
+    materialized = {name: list(values) for name, values in axes.items()}
+    for name, values in materialized.items():
         if len(values) == 0:
             raise ExperimentError(f"axis {name!r} is empty")
+    names = list(materialized)
     return [
         dict(zip(names, combo))
-        for combo in itertools.product(*(axes[n] for n in names))
+        for combo in itertools.product(*(materialized[n] for n in names))
     ]
 
 
@@ -92,9 +98,12 @@ def run_sweep(
     configs:
         Iterable of configuration mappings (e.g. from :func:`sweep_grid`).
     processes:
-        Pool size; ``None`` chooses ``min(len(configs), cpu_count)``;
-        ``0`` or ``1`` runs in-process (deterministic ordering, easier
-        debugging, required under coverage tools).
+        Pool size; ``None`` chooses ``min(len(configs), usable CPUs)``
+        where *usable* respects the process's CPU-affinity mask (see
+        :func:`repro.parallel.pool.default_worker_count` — containerized
+        CI gets its cgroup quota, not the host core count); ``0`` or
+        ``1`` runs in-process (deterministic ordering, easier debugging,
+        required under coverage tools).
     base_seed:
         Root seed; every task gets an independent child seed.
     backend:
@@ -120,17 +129,19 @@ def run_sweep(
     seeds = _child_seeds(base_seed, len(config_list))
     payloads = list(zip(config_list, seeds))
     if processes is None:
-        processes = min(len(config_list), mp.cpu_count())
+        processes = min(len(config_list), default_worker_count())
     if processes <= 1:
         results = [worker(cfg, seed) for cfg, seed in payloads]
     else:
-        # 'spawn' keeps workers free of inherited state (fork-safety with
-        # BLAS threads); the initializer ships the worker once per process.
-        ctx = mp.get_context("spawn")
-        with ctx.Pool(
+        # The persistent WorkerPool carries the spawn-context plumbing;
+        # the initializer ships the worker callable once per process.
+        # Sweep tasks run whole training loops, so workers keep their
+        # full BLAS thread budget (blas_threads=None).
+        with WorkerPool(
             processes=processes,
             initializer=_pool_initializer,
             initargs=(worker,),
+            blas_threads=None,
         ) as pool:
             results = pool.map(_pool_task, payloads)
     return [

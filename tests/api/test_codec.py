@@ -298,3 +298,24 @@ class TestPersistence:
         )
         with pytest.raises(SerializationError):
             Codec.load(path)
+
+
+class TestShardedCheckpointRoundTrip:
+    def test_sharded_worker_count_survives_save_load(self, tmp_path):
+        """The archive header stores only 'sharded'; the embedded spec
+        must restore the ':K' worker pinning on load."""
+        from repro.backends.sharded import ShardedBackend
+
+        codec = Codec(
+            CodecSpec(
+                dim=4, compressed_dim=2, compression_layers=2,
+                reconstruction_layers=2, backend="sharded:3",
+            )
+        )
+        path = codec.save(tmp_path / "model.npz")
+        loaded = Codec.load(path)
+        assert loaded.spec.backend == "sharded:3"
+        backend = loaded.autoencoder.uc.backend
+        assert isinstance(backend, ShardedBackend)
+        assert backend.worker_count == 3
+        assert backend._slot is loaded.autoencoder.ur.backend._slot

@@ -145,3 +145,64 @@ class TestLifecycle:
 
     def test_repr_mentions_shape(self):
         assert "dim=4" in repr(InferenceSession(_autoencoder()))
+
+
+class TestPoolAttachment:
+    def test_pool_defaults_to_none(self):
+        session = InferenceSession(_autoencoder())
+        assert session.pool is None
+        assert "pool" not in repr(session)
+
+    def test_small_ticks_never_touch_the_pool(self):
+        class Exploder:
+            processes = 2
+
+            def apply_dense(self, *a, **k):  # pragma: no cover - guard
+                raise AssertionError("small tick scattered to the pool")
+
+        session = InferenceSession(
+            _autoencoder(), chunk_size=64, pool=Exploder()
+        )
+        X = _data(m=10)
+        ref = InferenceSession(_autoencoder(), chunk_size=64)
+        np.testing.assert_allclose(
+            session.reconstruct(X), ref.reconstruct(X), atol=0, rtol=0
+        )
+
+    @pytest.mark.slow
+    def test_oversized_ticks_scatter_and_match(self):
+        from repro.parallel.pool import WorkerPool
+
+        ae = _autoencoder()
+        with WorkerPool(processes=2) as pool:
+            sharded = InferenceSession(ae, chunk_size=16, pool=pool)
+            plain = InferenceSession(ae, chunk_size=16)
+            assert sharded.pool is pool
+            assert "pool=2 workers" in repr(sharded)
+            X = _data(m=200, seed=5)
+            np.testing.assert_allclose(
+                sharded.reconstruct(X), plain.reconstruct(X),
+                atol=TOL, rtol=0,
+            )
+            payload = sharded.compress(X)
+            np.testing.assert_allclose(
+                payload.codes, plain.compress(X).codes, atol=TOL, rtol=0
+            )
+            np.testing.assert_allclose(
+                sharded.decompress(payload), plain.decompress(payload),
+                atol=TOL, rtol=0,
+            )
+
+    @pytest.mark.slow
+    def test_renormalize_path_through_pool(self):
+        from repro.parallel.pool import WorkerPool
+
+        ae = _autoencoder(renormalize=True)
+        with WorkerPool(processes=2) as pool:
+            sharded = InferenceSession(ae, chunk_size=16, pool=pool)
+            plain = InferenceSession(ae, chunk_size=16)
+            X = _data(m=120, seed=8)
+            np.testing.assert_allclose(
+                sharded.reconstruct(X), plain.reconstruct(X),
+                atol=TOL, rtol=0,
+            )

@@ -21,11 +21,17 @@ def make_net(dim=5, layers=3, seed=2, **kwargs):
 
 class TestRegistry:
     def test_available(self):
-        assert available_backends() == ["fused", "loop"]
+        assert available_backends() == ["fused", "loop", "sharded"]
 
     def test_make_by_name(self):
         assert isinstance(make_backend("fused"), FusedBackend)
         assert isinstance(make_backend("LOOP"), LoopBackend)
+
+    def test_spec_argument_rejected_without_parser(self):
+        with pytest.raises(BackendError, match="takes no ':' argument"):
+            make_backend("loop:3")
+        with pytest.raises(BackendError, match="takes no ':' argument"):
+            make_backend("fused:2")
 
     def test_make_by_class_and_instance(self):
         assert isinstance(make_backend(FusedBackend), FusedBackend)

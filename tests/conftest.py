@@ -18,6 +18,14 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: spawns worker processes or runs multi-second workloads "
+        "(deselect with -m 'not slow')",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Fresh deterministic generator per test."""

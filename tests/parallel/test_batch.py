@@ -2,10 +2,12 @@
 
 import numpy as np
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.exceptions import DimensionError
 from repro.network import QuantumAutoencoder, QuantumNetwork
-from repro.parallel.batch import ChunkedPipeline, chunked_forward
+from repro.parallel.batch import ChunkedPipeline, chunked_apply, chunked_forward
 
 
 class TestChunkedForward:
@@ -135,3 +137,52 @@ class TestChunkedPipeline:
         X = np.abs(rng.normal(size=(12, 4))) + 0.1
         chunked = ChunkedPipeline(ae, chunk_size=5).reconstruct(X)
         assert np.allclose(chunked, ae.forward(X).x_hat)
+
+    def test_reconstruct_dtype_follows_pipeline_result(self, rng):
+        """Regression: the output buffer must take the dtype the pipeline
+        decodes to, not the input's — chunked and direct reconstructions
+        of a phase-bearing autoencoder must agree bitwise in dtype."""
+        ae = QuantumAutoencoder(4, 2, 2, 2, allow_phase=True)
+        ae.uc.set_flat_params(rng.normal(size=ae.uc.num_parameters) * 0.5)
+        ae.ur.set_flat_params(rng.normal(size=ae.ur.num_parameters) * 0.5)
+        X = np.abs(rng.normal(size=(9, 4))) + 0.1
+        direct = ae.forward(X).x_hat
+        chunked = ChunkedPipeline(ae, chunk_size=4).reconstruct(X)
+        assert chunked.dtype == direct.dtype
+        assert np.allclose(chunked, direct)
+
+    def test_reconstruct_empty_batch(self, ae):
+        out = ChunkedPipeline(ae).reconstruct(np.empty((0, 4)))
+        assert out.shape == (0, 4)
+        assert out.dtype == np.float64
+
+
+class TestChunkedApply:
+    def test_matches_matmul(self, rng):
+        m = rng.normal(size=(3, 5))
+        x = rng.normal(size=(5, 17))
+        assert np.allclose(chunked_apply(m, x, chunk_size=4), m @ x)
+
+    @given(
+        rows=st.integers(min_value=1, max_value=6),
+        inner=st.integers(min_value=1, max_value=6),
+        cols=st.integers(min_value=1, max_value=40),
+        chunk=st.integers(min_value=1, max_value=50),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_caller_out_never_aliases_or_mutates_input(
+        self, rows, inner, cols, chunk, seed
+    ):
+        """Property: with a caller-owned out buffer, the input batch is
+        bitwise untouched and the result shares no memory with it."""
+        gen = np.random.default_rng(seed)
+        m = gen.normal(size=(rows, inner))
+        x = gen.normal(size=(inner, cols))
+        x_before = x.copy()
+        out = np.full((rows, cols), np.nan)
+        result = chunked_apply(m, x, chunk_size=chunk, out=out)
+        assert result is out
+        assert not np.shares_memory(result, x)
+        assert not np.shares_memory(result, m)
+        assert np.array_equal(x, x_before)
+        assert np.allclose(result, m @ x)

@@ -1,0 +1,161 @@
+"""Tests for repro.parallel.pool — lifecycle, transfer, clean shutdown.
+
+Tests that actually spawn worker processes are marked ``slow`` (each
+spawn re-imports numpy in the child); the cheap contract checks run
+unconditionally.
+"""
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DimensionError, ExperimentError
+from repro.parallel.pool import WorkerPool, default_worker_count
+
+
+class TestDefaults:
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1
+
+    def test_affinity_mask_respected(self):
+        # On Linux the affinity mask is the authoritative CPU budget
+        # (containerized CI may expose fewer CPUs than the host has).
+        import os
+
+        if hasattr(os, "sched_getaffinity"):
+            assert default_worker_count() == len(os.sched_getaffinity(0))
+
+    def test_invalid_process_count_rejected(self):
+        with pytest.raises(ExperimentError):
+            WorkerPool(processes=0)
+
+    def test_construction_spawns_nothing(self):
+        pool = WorkerPool(processes=2)
+        assert not pool.running
+        assert "idle" in repr(pool)
+
+    def test_zero_width_batch_short_circuits(self):
+        """Empty batches follow chunked_apply's contract (and must not
+        spawn workers just to compute nothing)."""
+        pool = WorkerPool(processes=2)
+        out = pool.apply_dense(np.ones((3, 4)), np.empty((4, 0)))
+        assert out.shape == (3, 0)
+        data = np.empty((5, 0))
+        assert pool.scatter_gather(len, data) is data
+        assert not pool.running
+
+    def test_apply_dense_validates_shapes_before_spawn(self):
+        pool = WorkerPool(processes=2)
+        with pytest.raises(DimensionError):
+            pool.apply_dense(np.ones((3, 4)), np.ones((5, 6)))
+        with pytest.raises(DimensionError):
+            pool.apply_dense(
+                np.ones((3, 4)), np.ones((4, 6)), out=np.empty((3, 5))
+            )
+        with pytest.raises(DimensionError):
+            pool.apply_dense(
+                np.ones((3, 4)),
+                np.ones((4, 6)),
+                out=np.empty((3, 6), dtype=np.int64),
+            )
+        assert not pool.running  # validation never started workers
+
+
+@pytest.mark.slow
+class TestPoolExecution:
+    @pytest.fixture(scope="class")
+    def pool(self):
+        with WorkerPool(processes=2) as pool:
+            yield pool
+
+    def test_map_ordered(self, pool):
+        assert pool.map(len, [[1, 2], [3], []]) == [2, 1, 0]
+
+    def test_apply_dense_matches_matmul(self, pool, rng):
+        m = rng.normal(size=(5, 8))
+        x = rng.normal(size=(8, 97))
+        assert np.allclose(pool.apply_dense(m, x), m @ x)
+
+    def test_apply_dense_complex_promotion(self, pool, rng):
+        m = rng.normal(size=(4, 4))
+        x = rng.normal(size=(4, 33)) + 1j * rng.normal(size=(4, 33))
+        out = pool.apply_dense(m, x)
+        assert out.dtype == np.complex128
+        assert np.allclose(out, m @ x)
+
+    def test_apply_dense_caller_out_buffer(self, pool, rng):
+        m = rng.normal(size=(3, 6))
+        x = rng.normal(size=(6, 41))
+        out = np.empty((3, 41))
+        result = pool.apply_dense(m, x, out=out)
+        assert result is out
+        assert np.allclose(out, m @ x)
+
+    def test_apply_dense_does_not_mutate_input(self, pool, rng):
+        m = rng.normal(size=(3, 3))
+        x = rng.normal(size=(3, 29))
+        x_before = x.copy()
+        pool.apply_dense(m, x)
+        assert np.array_equal(x, x_before)
+
+    def test_operator_shipped_once(self, pool, rng):
+        m = rng.normal(size=(4, 4))
+        x = rng.normal(size=(4, 20))
+        pool.apply_dense(m, x)
+        segments_after_first = set(pool._state["segments"])
+        cached_after_first = len(pool._operator_names)
+        pool.apply_dense(m, rng.normal(size=(4, 30)))
+        # Same operator content -> same cached segment, no second copy.
+        assert set(pool._state["segments"]) == segments_after_first
+        assert len(pool._operator_names) == cached_after_first
+
+    def test_min_columns_forwarded(self, pool, rng):
+        m = rng.normal(size=(2, 2))
+        x = rng.normal(size=(2, 10))
+        assert np.allclose(
+            pool.apply_dense(m, x, min_columns=10), m @ x
+        )
+
+
+@pytest.mark.slow
+class TestPoolLifecycle:
+    def test_close_reaps_workers_and_segments(self, rng):
+        pool = WorkerPool(processes=2)
+        pool.apply_dense(rng.normal(size=(3, 3)), rng.normal(size=(3, 12)))
+        assert pool.running
+        assert len(pool._state["segments"]) == 1  # the cached operator
+        pool.close()
+        assert not pool.running
+        assert pool._state["segments"] == {}
+        assert pool._operator_names == {}
+        assert mp.active_children() == []
+
+    def test_close_idempotent_and_restartable(self):
+        pool = WorkerPool(processes=2)
+        assert pool.map(len, [[1]]) == [1]
+        pool.close()
+        pool.close()
+        # The pool respawns lazily after close (deploy-cycle friendly).
+        assert pool.map(len, [[1, 2]]) == [2]
+        pool.close()
+        assert mp.active_children() == []
+
+    def test_context_manager_closes(self):
+        with WorkerPool(processes=2) as pool:
+            pool.map(len, [[1]])
+            assert pool.running
+        assert not pool.running
+        assert mp.active_children() == []
+
+    def test_finalizer_shuts_down_on_gc(self):
+        pool = WorkerPool(processes=2)
+        pool.map(len, [[1]])
+        state = pool._state
+        del pool
+        import gc
+
+        gc.collect()
+        assert state["pool"] is None
+        assert state["segments"] == {}
+        assert mp.active_children() == []

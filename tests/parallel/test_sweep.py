@@ -33,6 +33,19 @@ class TestSweepGrid:
         with pytest.raises(ExperimentError):
             sweep_grid()
 
+    def test_generator_axis_materialised(self):
+        """Regression: generators used to raise TypeError on len()."""
+        grid = sweep_grid(layers=(n for n in (2, 4)), lr=iter([0.1, 0.2]))
+        assert len(grid) == 4
+        assert {"layers": 4, "lr": 0.2} in grid
+
+    def test_empty_generator_axis_rejected(self):
+        with pytest.raises(ExperimentError, match="empty"):
+            sweep_grid(a=(n for n in ()))
+
+    def test_range_axis(self):
+        assert len(sweep_grid(layers=range(3))) == 3
+
 
 class TestRunSweepSerial:
     def test_results_in_order(self):
@@ -66,14 +79,60 @@ class TestRunSweepSerial:
             run_sweep(_square_worker, [], processes=0)
 
 
+class TestAffinityDefault:
+    def test_default_processes_respect_affinity(self):
+        """The implicit pool size is the usable-CPU count, not the host
+        core count (containerized CI must not oversubscribe)."""
+        from repro.parallel.pool import default_worker_count
+        from repro.parallel import sweep
+
+        seen = {}
+
+        class _Recorded(Exception):
+            pass
+
+        class Recorder:
+            def __init__(self, processes=None, **kwargs):
+                seen["processes"] = processes
+                raise _Recorded  # never actually spawn 64 tasks
+
+        original = sweep.WorkerPool
+        sweep.WorkerPool = Recorder
+        try:
+            configs = [{"x": i} for i in range(64)]
+            try:
+                run_sweep(_square_worker, configs, processes=None)
+            except _Recorded:
+                pass
+        finally:
+            sweep.WorkerPool = original
+        expected = min(64, default_worker_count())
+        if expected <= 1:
+            # Single-CPU hosts run in-process; no pool is ever built.
+            assert "processes" not in seen
+        else:
+            assert seen["processes"] == expected
+
+
+@pytest.mark.slow
 class TestRunSweepParallel:
     def test_pool_matches_serial(self):
+        """The spawn path returns records identical to in-process runs:
+        same results, same derived child seeds, same ordering."""
         configs = [{"x": i} for i in range(6)]
         serial = run_sweep(_square_worker, configs, processes=0, base_seed=3)
         parallel = run_sweep(_square_worker, configs, processes=2, base_seed=3)
         assert [r.result for r in serial] == [r.result for r in parallel]
+        assert [r.seed for r in serial] == [r.seed for r in parallel]
+        assert [r.config for r in serial] == [r.config for r in parallel]
 
     def test_pool_preserves_order(self):
         configs = [{"x": i} for i in range(10)]
         results = run_sweep(_square_worker, configs, processes=3)
         assert [r.config["x"] for r in results] == list(range(10))
+
+    def test_no_processes_leak(self):
+        import multiprocessing as mp
+
+        run_sweep(_square_worker, [{"x": i} for i in range(4)], processes=2)
+        assert mp.active_children() == []
