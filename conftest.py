@@ -1,0 +1,15 @@
+"""Repo-root pytest hooks shared by every collection entry point.
+
+``src/repro/backends/jit_kernels.py`` imports numba at module scope by
+design (module-level ``@njit(cache=True)`` definitions, lazily imported
+by :mod:`repro.backends.jit`); when the optional numba package is absent
+the module is unimportable, so the doctest sweep
+(``pytest --doctest-modules src/repro``) must skip collecting it — the
+soft-dependency contract every other entry point already honours.
+"""
+
+from importlib.util import find_spec
+
+collect_ignore = []
+if find_spec("numba") is None:
+    collect_ignore.append("src/repro/backends/jit_kernels.py")

@@ -10,9 +10,13 @@ This package separates network *structure* from *execution*:
   two-row kernels, the seed implementation's strategy);
 - :mod:`repro.backends.fused` — cached whole-network unitary applied as a
   single GEMM, plus the prefix/suffix gradient workspace;
+- :mod:`repro.backends.jit` — the gate loop compiled to machine code with
+  numba ``@njit(cache=True)`` kernels (``"numba"``; soft dependency —
+  registers always, raises a clear error at construction without numba);
 - :mod:`repro.backends.sharded` — wide batches column-scattered over a
   persistent multi-process :class:`~repro.parallel.pool.WorkerPool`
-  (``"sharded"`` / ``"sharded:K"``), fused fallback for narrow ones;
+  (``"sharded"`` / ``"sharded:K"`` / ``"sharded:K:numba"``), in-process
+  delegate fallback for narrow ones;
 - :mod:`repro.backends.cached` — :class:`PrefixSuffixWorkspace`, the
   ``O(P)``-gate-work engine behind cached ``fd``/``central``/
   ``derivative`` gradients.
@@ -39,6 +43,7 @@ from repro.backends.base import (
 )
 from repro.backends.cached import PrefixSuffixWorkspace
 from repro.backends.fused import FusedBackend
+from repro.backends.jit import JitBackend, NUMBA_AVAILABLE
 from repro.backends.loop import LoopBackend
 from repro.backends.program import GateProgram, compile_program
 from repro.backends.sharded import ShardedBackend
@@ -53,6 +58,8 @@ __all__ = [
     "validate_backend_name",
     "LoopBackend",
     "FusedBackend",
+    "JitBackend",
+    "NUMBA_AVAILABLE",
     "ShardedBackend",
     "PrefixSuffixWorkspace",
 ]

@@ -7,7 +7,7 @@ backend and notifies it via :meth:`Backend.invalidate` when parameters
 change, so backends may cache parameter-derived artefacts (fused unitaries,
 prefix/suffix products) between calls.
 
-Three backends ship with the package:
+Four backends ship with the package:
 
 ``"loop"``
     :class:`~repro.backends.loop.LoopBackend` — the bit-exact reference:
@@ -17,12 +17,19 @@ Three backends ship with the package:
     network as one ``N x N`` unitary (cached per parameter set) and applies
     it as a single GEMM; also provides the prefix/suffix gradient workspace
     used to accelerate the ``fd``/``central``/``derivative`` methods.
+``"numba"``
+    :class:`~repro.backends.jit.JitBackend` — the gate loop lowered to
+    machine code: numba ``@njit(cache=True)`` kernels run the compiled
+    program directly (forward, inverse, tape, adjoint sweep).  Soft
+    dependency: registers unconditionally but raises a clear
+    :class:`BackendError` at construction when numba is not installed.
 ``"sharded"``
     :class:`~repro.backends.sharded.ShardedBackend` — scatters wide
     ``(N, M)`` batches over a persistent multi-process
     :class:`~repro.parallel.pool.WorkerPool` in column shards, one fused
-    GEMM per worker; small batches fall through to the in-process fused
-    path.
+    GEMM per worker; small batches fall through to an in-process delegate
+    (fused by default, ``"sharded:K:numba"`` selects the jitted backend
+    for workers and delegate alike).
 
 Select a backend at construction (``QuantumNetwork(..., backend="fused")``)
 or later via ``set_backend``; experiment configs and the CLI expose the same
@@ -67,6 +74,13 @@ class Backend(abc.ABC):
 
     #: Whether :meth:`gradient_workspace` returns a usable workspace.
     supports_cached_gradients: bool = False
+
+    #: Whether the backend provides compiled adjoint kernels — an
+    #: ``adjoint_tape(inputs) -> (output, row_tape)`` / ``adjoint_sweep
+    #: (tape, lam) -> grad`` pair the adjoint gradient method drives
+    #: instead of its numpy vectorised sweep (the ``"numba"`` backend
+    #: sets this).
+    supports_adjoint_kernels: bool = False
 
     def __init__(self) -> None:
         self._network: Optional["QuantumNetwork"] = None
@@ -206,10 +220,14 @@ def register_backend(cls: Type[Backend]) -> Type[Backend]:
 def available_backends() -> List[str]:
     """Names accepted by :func:`make_backend` / ``set_backend``.
 
+    Registration is availability-independent: ``"numba"`` is always
+    listed, so selecting it without numba installed fails with that
+    backend's own install hint instead of "unknown backend".
+
     Examples
     --------
     >>> available_backends()
-    ['fused', 'loop', 'sharded']
+    ['fused', 'loop', 'numba', 'sharded']
     """
     return sorted(_REGISTRY)
 
@@ -223,13 +241,15 @@ def _resolve_spec_string(spec: str, error_cls: Type[Exception]) -> Backend:
             f"unknown backend {spec!r}; available: {available_backends()}"
         )
     cls = _REGISTRY[base]
-    if not sep:
-        return cls()
     try:
+        if not sep:
+            return cls()
         return cls.from_spec(arg)
     except BackendError as exc:
         # Re-raise under the caller's error class (config layers pass
-        # e.g. ExperimentError) without losing the parse message.
+        # e.g. ExperimentError) without losing the parse message — or
+        # the construction-time message of an unavailable backend
+        # (selecting "numba" without numba installed).
         if error_cls is BackendError:
             raise
         raise error_cls(str(exc)) from None
@@ -256,7 +276,7 @@ def make_backend(spec: Union[str, Backend, Type[Backend]]) -> Backend:
     Traceback (most recent call last):
         ...
     repro.exceptions.BackendError: unknown backend 'quantum-annealer'; \
-available: ['fused', 'loop', 'sharded']
+available: ['fused', 'loop', 'numba', 'sharded']
     >>> make_backend("loop:3")
     Traceback (most recent call last):
         ...

@@ -1,0 +1,291 @@
+"""Jitted compiled-kernel execution: the ``"numba"`` backend.
+
+The loop backend pays ``num_layers * (N - 1)`` Python-level kernel calls
+per forward pass; the fused backend removes the per-gate overhead but
+replaces it with an ``O(N^2 M)`` GEMM plus a parameter re-validation on
+*every* call — at single-sample widths (``M = 1``, the serving path's
+per-request floor) that bookkeeping dominates the ~``2 (N-1) L`` flops
+the network actually needs.  :class:`JitBackend` lowers the gate loop
+itself to machine code instead: numba ``@njit(cache=True)`` kernels
+(:mod:`repro.backends.jit_kernels`) run the compiled
+:class:`~repro.backends.program.GateProgram` directly over the flat
+``(modes, theta_index, alpha_index)`` arrays — real and complex dtypes,
+batched ``(N, M)`` states, forward, inverse, a tape-recording variant,
+and the adjoint backward sweep — with no per-gate Python objects
+anywhere.
+
+**Soft dependency.**  numba is optional: this module always imports (and
+the backend always registers, so ``available_backends()`` is stable) but
+constructing :class:`JitBackend` without numba raises a clear
+:class:`~repro.exceptions.BackendError`.  The numba import itself is
+deferred to first construction/warm-up — availability is probed with
+``importlib.util.find_spec`` — so processes that never select the
+backend (the CLI on ``fused``, sharded pool workers with a fused
+delegate) skip the ~1s numba/llvmlite startup cost even on hosts that
+have numba installed.
+
+**Warm-up / compile cache.**  numba compiles one specialisation per
+argument-dtype signature, the first time a kernel sees it.  Module-level
+:func:`ensure_warm` runs every kernel once per ``(dtype kind,
+phase-flag)`` signature on toy arrays and records the signature in a
+process-wide set, so the compile cost is paid at most once per process
+no matter how many :class:`~repro.api.codec.Codec` /
+:class:`QuantumNetwork` instances bind the backend; ``cache=True``
+additionally persists the compiled machine code on disk, making later
+*processes* pay only a cache load.  Binding a network warms its own
+signature eagerly, so the first ``compress`` call runs at full speed.
+
+**Invalidation contract.**  Unlike the fused backend — which re-reads
+the flat parameter vector on every call to catch direct mutation of
+``layer.thetas`` — the jitted backend trusts
+:meth:`~repro.backends.base.Backend.invalidate` notifications
+(``set_flat_params`` sends one) and keeps its cos/sin/phase tables until
+told otherwise.  That makes the per-call overhead a dictionary-free
+table check, which is what lets the ``M = 1`` latency beat the fused
+GEMM by >= 2x (``benchmarks/bench_jit.py`` gates it).  Code that writes
+``layer.thetas`` in place must call ``network.backend.invalidate()``
+explicitly.
+"""
+
+from __future__ import annotations
+
+from importlib import util as _importlib_util
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.backends.base import Backend, register_backend
+from repro.backends.cached import PrefixSuffixWorkspace
+from repro.exceptions import BackendError, GateError
+
+__all__ = ["JitBackend", "NUMBA_AVAILABLE", "ensure_warm"]
+
+#: Whether the optional numba dependency is importable (probed without
+#: importing it — see the module docstring on deferred startup cost).
+NUMBA_AVAILABLE: bool = _importlib_util.find_spec("numba") is not None
+
+#: Warmed ``(dtype kind, phase-flag)`` kernel signatures — process-wide,
+#: so repeated backend instances never recompile (see module docstring).
+_WARMED: set = set()
+
+_MISSING_NUMBA = (
+    "backend 'numba' requires the optional numba package, which is not "
+    "installed (pip install numba, or the requirements-ci-numba.txt "
+    "extras); the 'fused' backend is the fastest numba-free alternative"
+)
+
+
+def _kernels():
+    """The lazily-imported kernel module (the only numba import site)."""
+    if not NUMBA_AVAILABLE:
+        raise BackendError(_MISSING_NUMBA)
+    from repro.backends import jit_kernels
+
+    return jit_kernels
+
+
+def ensure_warm(kind: str) -> None:
+    """Compile (or disk-load) every kernel for one signature, once.
+
+    ``kind`` is ``"real"`` (float64 batch, no phases), ``"complex"``
+    (complex128 batch, phase-free gates) or ``"phase"`` (complex128
+    batch, phase-bearing gates).  Subsequent calls for a warmed kind are
+    a set lookup; the set is module-level, so warm-up cost is paid at
+    most once per process per signature regardless of how many backend
+    or :class:`~repro.api.codec.Codec` instances exist.
+    """
+    if kind in _WARMED:
+        return
+    if kind not in ("real", "complex", "phase"):
+        raise BackendError(f"unknown jit warm-up kind {kind!r}")
+    k = _kernels()
+    dtype = np.float64 if kind == "real" else np.complex128
+    data = np.zeros((2, 1), dtype=dtype)
+    tape = np.zeros((1, 2, 1), dtype=dtype)
+    modes = np.zeros(1, dtype=np.int64)
+    pos = np.zeros(1, dtype=np.int64)
+    c = np.ones(1)
+    s = np.zeros(1)
+    grad = np.zeros(2)
+    if kind == "phase":
+        phase = np.ones(1, dtype=np.complex128)
+        k.sweep_phase(data, modes, c, s, phase, False)
+        k.sweep_phase(data, modes, c, s, phase, True)
+        k.tape_phase(data, modes, c, s, phase, tape)
+        k.adjoint_sweep_cplx(
+            data, tape, modes, pos, pos, c, s, phase, True, grad
+        )
+    else:
+        k.sweep_nophase(data, modes, c, s, False)
+        k.sweep_nophase(data, modes, c, s, True)
+        k.tape_nophase(data, modes, c, s, tape)
+        if kind == "real":
+            k.adjoint_sweep_real(data, tape, modes, pos, c, s, grad)
+        else:
+            phase = np.ones(1, dtype=np.complex128)
+            k.adjoint_sweep_cplx(
+                data, tape, modes, pos, pos, c, s, phase, False, grad
+            )
+    _WARMED.add(kind)
+
+
+@register_backend
+class JitBackend(Backend):
+    """Compiled gate-loop execution over the flat :class:`GateProgram`.
+
+    Semantics match the loop backend to rounding: the kernels apply the
+    same two-row rotations in the same order, only compiled.  Parameter
+    tables (per-gate cos/sin and, for phase-bearing networks, the
+    complex phases) are rebuilt lazily after each
+    :meth:`~repro.backends.base.Backend.invalidate` — see the module
+    docstring for the invalidation contract.
+
+    Raises
+    ------
+    BackendError
+        At construction when numba is not installed (the name stays in
+        the registry so the error is this message, not "unknown
+        backend").
+
+    Examples
+    --------
+    >>> from repro.backends import make_backend
+    >>> make_backend("numba:fast")
+    Traceback (most recent call last):
+        ...
+    repro.exceptions.BackendError: backend 'numba' takes no ':' argument \
+(got numba:fast)
+    """
+
+    name = "numba"
+    supports_cached_gradients = True
+    supports_adjoint_kernels = True
+
+    def __init__(self) -> None:
+        if not NUMBA_AVAILABLE:
+            raise BackendError(_MISSING_NUMBA)
+        super().__init__()
+        #: (cos, sin, phase-or-None) per-gate tables; None when stale.
+        self._tables: Optional[
+            Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]
+        ] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def bind(self, network) -> "JitBackend":
+        super().bind(network)
+        # Warm the signatures this network can execute with so the first
+        # forward (e.g. a Codec's first compress) runs at full speed.  A
+        # phase-capable network runs the phase-free *complex* kernels
+        # while its alphas are all zero (fresh/untrained), so both kinds
+        # are warmed.
+        if network.allow_phase:
+            ensure_warm("phase")
+            ensure_warm("complex")
+        else:
+            ensure_warm("real")
+        return self
+
+    def invalidate(self) -> None:
+        self._tables = None
+
+    def _refresh(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        tables = self._tables
+        if tables is not None:
+            return tables
+        prog = self.program
+        params = self.network.get_flat_params()
+        th = params[prog.theta_index]
+        c, s = np.cos(th), np.sin(th)
+        phase: Optional[np.ndarray] = None
+        if prog.allow_phase:
+            al = params[prog.alpha_index]
+            if np.any(al != 0.0):
+                phase = np.cos(al) + 1j * np.sin(al)
+        self._tables = (c, s, phase)
+        return self._tables
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def forward_inplace(self, data: np.ndarray, inverse: bool = False) -> None:
+        c, s, phase = self._refresh()
+        prog = self.program
+        if phase is None:
+            ensure_warm("complex" if np.iscomplexobj(data) else "real")
+            _kernels().sweep_nophase(data, prog.modes, c, s, inverse)
+            return
+        if not np.iscomplexobj(data):
+            # Parity with the loop/fused kernels' contract.
+            raise GateError(
+                "a non-zero phase alpha requires a complex state batch; the "
+                "paper's real network fixes alpha = 0 (Section III-A)"
+            )
+        ensure_warm("phase")
+        _kernels().sweep_phase(data, prog.modes, c, s, phase, inverse)
+
+    # ------------------------------------------------------------------
+    # gradients
+    # ------------------------------------------------------------------
+    def gradient_workspace(self, inputs: np.ndarray) -> PrefixSuffixWorkspace:
+        return PrefixSuffixWorkspace(self.network, self.program, inputs)
+
+    def adjoint_tape(
+        self, data: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Jitted traced forward pass: ``(output, row_tape)``.
+
+        The tape layout matches
+        :meth:`~repro.network.quantum_network.QuantumNetwork.forward_trace`
+        (``(num_gates, 2, M)``, rows recorded before each gate in
+        application order); :meth:`adjoint_sweep` consumes it.
+        """
+        c, s, phase = self._refresh()
+        prog = self.program
+        dtype = self.network.result_dtype(data)
+        out = np.ascontiguousarray(data, dtype=dtype)
+        if out is data:
+            out = data.copy()
+        tape = np.empty((prog.num_gates, 2, out.shape[1]), dtype=dtype)
+        if phase is None:
+            ensure_warm("complex" if np.iscomplexobj(out) else "real")
+            _kernels().tape_nophase(out, prog.modes, c, s, tape)
+        else:
+            ensure_warm("phase")
+            _kernels().tape_phase(out, prog.modes, c, s, phase, tape)
+        return out, tape
+
+    def adjoint_sweep(self, tape: np.ndarray, lam: np.ndarray) -> np.ndarray:
+        """Jitted adjoint backward sweep over a recorded tape.
+
+        ``lam`` is the output-side adjoint (same dtype as the tape); it
+        is consumed — pulled back through ``G^dagger`` in place.
+        Returns the flat parameter gradient (theta block, then the alpha
+        block for phase-bearing networks), read off the single tape.
+        """
+        c, s, phase = self._refresh()
+        prog = self.program
+        grad = np.zeros(prog.num_parameters)
+        if not np.iscomplexobj(tape):
+            _kernels().adjoint_sweep_real(
+                lam, tape, prog.modes, prog.theta_index, c, s, grad
+            )
+            return grad
+        if phase is None:
+            phase = np.ones(prog.num_gates, dtype=np.complex128)
+        _kernels().adjoint_sweep_cplx(
+            lam,
+            tape,
+            prog.modes,
+            prog.theta_index,
+            prog.alpha_index,
+            c,
+            s,
+            phase,
+            prog.allow_phase,
+            grad,
+        )
+        return grad

@@ -1,0 +1,199 @@
+"""The numba kernels behind :class:`~repro.backends.jit.JitBackend`.
+
+This module is the only place in the package that imports numba, and it
+is imported *lazily* — :mod:`repro.backends.jit` pulls it in on first
+backend construction / warm-up, never at package import time — so
+processes that never touch the ``numba`` backend (the CLI on ``fused``,
+sharded pool workers with a fused delegate) skip the ~1s numba/llvmlite
+interpreter-startup cost entirely.  Importing it without numba installed
+raises ``ImportError``; :func:`repro.backends.jit.ensure_warm` turns
+that into the backend's :class:`~repro.exceptions.BackendError`.
+
+Every kernel iterates a compiled
+:class:`~repro.backends.program.GateProgram`'s flat arrays directly:
+``modes`` names the two rows ``(k, k+1)`` each gate touches, ``c``/``s``
+(and ``phase`` for phase-bearing networks) are the per-gate parameter
+tables the backend rebuilds after each invalidation.  All kernels mutate
+their ``(N, M)`` batch (or adjoint) argument in place and allocate
+nothing; ``cache=True`` persists the compiled machine code on disk so
+later processes pay a cache load, not a compile.
+"""
+
+from __future__ import annotations
+
+from numba import njit
+
+__all__ = [
+    "sweep_nophase",
+    "sweep_phase",
+    "tape_nophase",
+    "tape_phase",
+    "adjoint_sweep_real",
+    "adjoint_sweep_cplx",
+]
+
+
+@njit(cache=True)
+def sweep_nophase(data, modes, c, s, inverse):
+    """Phase-free gate chain in place; ``inverse`` runs G^T right-to-left.
+
+    Specialised per data dtype (float64 and complex128 batches both hit
+    this kernel — a real Givens rotation is its own conjugate).
+    """
+    total = modes.shape[0]
+    m = data.shape[1]
+    if inverse:
+        for g in range(total - 1, -1, -1):
+            k = modes[g]
+            cg = c[g]
+            sg = s[g]
+            for j in range(m):
+                a = data[k, j]
+                b = data[k + 1, j]
+                data[k, j] = cg * a + sg * b
+                data[k + 1, j] = cg * b - sg * a
+    else:
+        for g in range(total):
+            k = modes[g]
+            cg = c[g]
+            sg = s[g]
+            for j in range(m):
+                a = data[k, j]
+                b = data[k + 1, j]
+                data[k, j] = cg * a - sg * b
+                data[k + 1, j] = sg * a + cg * b
+
+
+@njit(cache=True)
+def sweep_phase(data, modes, c, s, phase, inverse):
+    """Phase-bearing gate chain T(theta, alpha) on a complex batch."""
+    total = modes.shape[0]
+    m = data.shape[1]
+    if inverse:
+        for g in range(total - 1, -1, -1):
+            k = modes[g]
+            cg = c[g]
+            sg = s[g]
+            pc = phase[g].conjugate()
+            pcc = pc * cg
+            pcs = pc * sg
+            for j in range(m):
+                a = data[k, j]
+                b = data[k + 1, j]
+                data[k, j] = pcc * a + pcs * b
+                data[k + 1, j] = cg * b - sg * a
+    else:
+        for g in range(total):
+            k = modes[g]
+            cg = c[g]
+            sg = s[g]
+            pg = phase[g]
+            pcc = pg * cg
+            pcs = pg * sg
+            for j in range(m):
+                a = data[k, j]
+                b = data[k + 1, j]
+                data[k, j] = pcc * a - sg * b
+                data[k + 1, j] = pcs * a + cg * b
+
+
+@njit(cache=True)
+def tape_nophase(data, modes, c, s, tape):
+    """Forward sweep recording rows ``(k, k+1)`` before each gate."""
+    total = modes.shape[0]
+    m = data.shape[1]
+    for g in range(total):
+        k = modes[g]
+        cg = c[g]
+        sg = s[g]
+        for j in range(m):
+            a = data[k, j]
+            b = data[k + 1, j]
+            tape[g, 0, j] = a
+            tape[g, 1, j] = b
+            data[k, j] = cg * a - sg * b
+            data[k + 1, j] = sg * a + cg * b
+
+
+@njit(cache=True)
+def tape_phase(data, modes, c, s, phase, tape):
+    """Phase-bearing tape-recording forward sweep (complex batch)."""
+    total = modes.shape[0]
+    m = data.shape[1]
+    for g in range(total):
+        k = modes[g]
+        cg = c[g]
+        sg = s[g]
+        pg = phase[g]
+        pcc = pg * cg
+        pcs = pg * sg
+        for j in range(m):
+            a = data[k, j]
+            b = data[k + 1, j]
+            tape[g, 0, j] = a
+            tape[g, 1, j] = b
+            data[k, j] = pcc * a - sg * b
+            data[k + 1, j] = pcs * a + cg * b
+
+
+@njit(cache=True)
+def adjoint_sweep_real(lam, tape, modes, theta_pos, c, s, grad):
+    """Reverse sweep over a real tape: theta gradients + G^T pull-back.
+
+    ``lam`` is the output-side adjoint, mutated in place as it is pulled
+    back gate by gate; ``grad[theta_pos[g]]`` receives
+    ``<lam_g, dG_g (r0, r1)>``.
+    """
+    total = modes.shape[0]
+    m = lam.shape[1]
+    for g in range(total - 1, -1, -1):
+        k = modes[g]
+        cg = c[g]
+        sg = s[g]
+        acc = 0.0
+        for j in range(m):
+            r0 = tape[g, 0, j]
+            r1 = tape[g, 1, j]
+            l0 = lam[k, j]
+            l1 = lam[k + 1, j]
+            acc += l0 * (-sg * r0 - cg * r1) + l1 * (cg * r0 - sg * r1)
+            lam[k, j] = cg * l0 + sg * l1
+            lam[k + 1, j] = cg * l1 - sg * l0
+        grad[theta_pos[g]] = acc
+
+
+@njit(cache=True)
+def adjoint_sweep_cplx(
+    lam, tape, modes, theta_pos, alpha_pos, c, s, phase, with_alpha, grad
+):
+    """Reverse sweep over a complex tape: theta (and alpha) gradients.
+
+    Pulls the adjoint back through ``G^dagger``; with ``with_alpha`` the
+    same tape also yields the phase gradients.
+    """
+    total = modes.shape[0]
+    m = lam.shape[1]
+    for g in range(total - 1, -1, -1):
+        k = modes[g]
+        cg = c[g]
+        sg = s[g]
+        pg = phase[g]
+        pc = pg.conjugate()
+        dp = 1j * pg
+        acc_t = 0.0
+        acc_a = 0.0
+        for j in range(m):
+            r0 = tape[g, 0, j]
+            r1 = tape[g, 1, j]
+            l0 = lam[k, j]
+            l1 = lam[k + 1, j]
+            acc_t += (l0.conjugate() * (-pg * sg * r0 - cg * r1)).real
+            acc_t += (l1.conjugate() * (pg * cg * r0 - sg * r1)).real
+            if with_alpha:
+                acc_a += (l0.conjugate() * (dp * cg * r0)).real
+                acc_a += (l1.conjugate() * (dp * sg * r0)).real
+            lam[k, j] = pc * (cg * l0 + sg * l1)
+            lam[k + 1, j] = cg * l1 - sg * l0
+        grad[theta_pos[g]] = acc_t
+        if with_alpha:
+            grad[alpha_pos[g]] = acc_a

@@ -94,21 +94,23 @@ def build_parser() -> argparse.ArgumentParser:
             "caches the\n"
             "                 network unitary and the prefix/suffix gradient "
             "workspace;\n"
-            "                 'sharded[:K]' scatters wide (N, M) batches "
-            "over K worker\n"
-            "                 processes (shared-memory column shards, one "
-            "fused GEMM\n"
-            "                 each; see docs/sharding.md).\n"
-            "  --grad-engine  how workspace-backed gradients are driven: "
-            "'batched'\n"
-            "                 (default) stacks each layer's parameter "
-            "perturbations into\n"
-            "                 single einsums; 'looped' perturbs one "
-            "parameter at a time\n"
-            "                 and is the bit-exact reference. Only active "
-            "with a caching\n"
-            "                 backend (--backend fused). See "
-            "docs/gradients.md.\n"
+            "                 'numba' runs the gate loop as jitted compiled "
+            "kernels\n"
+            "                 (optional dependency: pip install numba); "
+            "'sharded[:K][:numba]'\n"
+            "                 scatters wide (N, M) batches over K worker "
+            "processes\n"
+            "                 (shared-memory column shards; see "
+            "docs/sharding.md).\n"
+            "  --grad-engine  how gradients are driven: 'batched' (default) "
+            "stacks each\n"
+            "                 layer's parameter perturbations into single "
+            "einsums and runs\n"
+            "                 the adjoint sweep vectorised (jitted on "
+            "--backend numba);\n"
+            "                 'looped' is the one-parameter/one-gate "
+            "bit-exact reference.\n"
+            "                 See docs/gradients.md.\n"
         ),
     )
     parser.add_argument(
@@ -136,8 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
             help=(
                 "execution backend: 'loop' is the bit-exact reference, "
                 "'fused' caches the network unitary and prefix/suffix "
-                "gradient products (fast), 'sharded[:K]' scatters wide "
-                "batches over K worker processes"
+                "gradient products (fast), 'numba' jit-compiles the gate "
+                "loop (needs the optional numba package), 'sharded[:K]' "
+                "scatters wide batches over K worker processes"
             ),
         )
         p.add_argument(

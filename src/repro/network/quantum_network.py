@@ -12,9 +12,11 @@ the two state rows it consumed — the minimal tape needed for exact
 reverse-mode (adjoint) differentiation at ``O(1)`` extra memory per gate.
 
 Execution is delegated to a pluggable backend (:mod:`repro.backends`):
-``"loop"`` (the bit-exact per-gate reference) or ``"fused"`` (cached
+``"loop"`` (the bit-exact per-gate reference), ``"fused"`` (cached
 whole-network unitary applied as one GEMM, with prefix/suffix-cached
-gradients).  Select at construction or via :meth:`set_backend`.
+gradients), ``"numba"`` (the gate loop jit-compiled to machine code) or
+``"sharded"`` (wide batches scattered over worker processes).  Select at
+construction or via :meth:`set_backend`.
 """
 
 from __future__ import annotations

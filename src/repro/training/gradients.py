@@ -18,13 +18,19 @@ against target amplitudes:
     ``dG/dtheta = G(theta + pi/2)`` restricted to the 2x2 block and zero
     elsewhere).  Exact to float64; cost ``num_params + 1`` passes.
 ``"adjoint"``
-    Exact reverse-mode using the two-row tape recorded by
-    :meth:`QuantumNetwork.forward_trace`: one forward pass + one backward
-    sweep for *all* parameters.  This is the fast path (``O(P)`` total gate
-    work instead of ``O(P^2)``) and is bit-identical to ``"derivative"`` up
+    Exact reverse-mode: one traced forward pass + one backward sweep for
+    *all* parameters.  This is the fast path (``O(P)`` total gate work
+    instead of ``O(P^2)``) and is bit-identical to ``"derivative"`` up
     to rounding.  Supports complex (``allow_phase``) networks: the sweep
     pulls the adjoint back through ``G^dagger`` and reads off both the
-    ``theta`` and ``alpha`` gradients from the same tape.
+    ``theta`` and ``alpha`` gradients from the same tape.  Since the jit
+    PR the sweep is *vectorised* by default (``engine="batched"``):
+    stacked per-layer GEMMs via the prefix/suffix workspace's
+    cross-layer recurrence on any backend, or the fully compiled
+    tape/sweep kernel pair on the ``numba`` backend; the per-gate Python
+    walk over :meth:`QuantumNetwork.forward_trace` remains as the
+    ``engine="looped"`` reference (``benchmarks/bench_jit.py`` gates the
+    vectorised sweep at >= 3x over it).
 
 All methods share the signature of :func:`loss_and_gradient`; the trainer
 selects by name so benchmarks can ablate the choice (exp id ``abl-grad``).
@@ -52,14 +58,18 @@ selected by ``engine`` (CLI ``--grad-engine``):
     and scores them with one vectorised :meth:`Loss.value_many` call —
     ``O(num_layers)`` batched contractions per gradient.
 ``"looped"``
-    The PR-1 reference: one parameter at a time through the same
-    workspace.  Bit-exact anchor for the batched path; agreement is
-    ``<= 1e-8`` for every method (``benchmarks/bench_gradients.py`` gates
-    this and a ``>= 3x`` speedup at the paper's configuration).
+    The reference drive: one parameter at a time through the same
+    workspace, and the per-gate tape walk for ``adjoint``.  Bit-exact
+    anchor for the batched path; agreement is ``<= 1e-8`` for every
+    method (``benchmarks/bench_gradients.py`` and
+    ``benchmarks/bench_jit.py`` gate this plus ``>= 3x`` speedups at the
+    paper's configuration).
 
-The engine choice only affects workspace-backed evaluations; the
-re-execution fallback and ``adjoint`` ignore it.  See ``docs/gradients.md``
-for the full method x backend x engine matrix.
+The engine choice selects the drive for workspace-backed evaluations and
+for the adjoint sweep (vectorised/jitted vs the per-gate reference walk);
+only the re-execution fallback of ``fd``/``central``/``derivative``
+ignores it.  See ``docs/gradients.md`` for the full method x backend x
+engine matrix.
 """
 
 from __future__ import annotations
@@ -459,6 +469,92 @@ def _loss_and_grad_derivative(
     return base, grad
 
 
+def _adjoint_loss_and_lambda(
+    out: np.ndarray,
+    tape_dtype: np.dtype,
+    targets: np.ndarray,
+    loss: Loss,
+    projection: Optional[Projection],
+) -> Tuple[float, np.ndarray]:
+    """Base loss and tape-dtype output adjoint for the sweep paths."""
+    if projection is not None:
+        out = projection.apply(out)
+    base = loss.value(out, targets)
+    lam = loss.dvalue(out, targets)
+    if np.iscomplexobj(lam) and not np.issubdtype(
+        tape_dtype, np.complexfloating
+    ):
+        # Real tape: the imaginary part of the adjoint cannot propagate
+        # (grad = Re<lam, dout> with real dout), so drop it explicitly.
+        lam = np.real(lam)
+    lam = np.array(lam, dtype=tape_dtype, copy=True)
+    if projection is not None:
+        projection.apply_inplace(lam)
+    return base, lam
+
+
+def _adjoint_vectorized(
+    network: QuantumNetwork,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    loss: Loss,
+    projection: Optional[Projection],
+) -> Tuple[float, np.ndarray]:
+    """Vectorised adjoint: per-layer GEMMs instead of a per-gate walk.
+
+    Builds the prefix/suffix workspace — for the standard ascending/
+    descending chains that is the cross-layer recurrence of
+    :meth:`PrefixSuffixWorkspace._build_vectorized`, ``O(num_layers)``
+    stacked GEMMs with no per-gate Python work — and contracts the loss
+    adjoint through the suffix columns, reading the ``theta`` and
+    ``alpha`` gradients off the one tape.  Mathematically identical to
+    the per-gate backward walk (both compute
+    ``Re <lam, S_i dG_i (P_i X)>``); agreement is at rounding level
+    (<= 1e-12 on unit problems).
+
+    Works on any backend: caching backends serve the workspace
+    themselves, others (the ``loop`` reference) get one built directly
+    from their compiled program.
+    """
+    backend = getattr(network, "backend", None)
+    if backend is not None and backend.supports_cached_gradients:
+        ws = backend.gradient_workspace(inputs)
+    else:
+        from repro.backends.cached import PrefixSuffixWorkspace
+        from repro.backends.program import compile_program
+
+        program = (
+            backend.program if backend is not None else compile_program(network)
+        )
+        ws = PrefixSuffixWorkspace(network, program, inputs)
+    return _batched_derivative_grad(
+        ws, network.num_parameters, targets, loss, projection
+    )
+
+
+def _adjoint_jit(
+    network: QuantumNetwork,
+    backend,
+    inputs: np.ndarray,
+    targets: np.ndarray,
+    loss: Loss,
+    projection: Optional[Projection],
+) -> Tuple[float, np.ndarray]:
+    """Compiled adjoint: jitted tape-recording forward + jitted sweep.
+
+    Drives the ``numba`` backend's kernel pair
+    (:meth:`~repro.backends.jit.JitBackend.adjoint_tape` /
+    :meth:`~repro.backends.jit.JitBackend.adjoint_sweep`) — the whole
+    ``O(P M)`` tape and backward walk run in machine code; only the loss
+    and its adjoint are evaluated in numpy.
+    """
+    out, tape = backend.adjoint_tape(inputs)
+    base, lam = _adjoint_loss_and_lambda(
+        out, tape.dtype, targets, loss, projection
+    )
+    return base, backend.adjoint_sweep(tape, lam)
+
+
 def _loss_and_grad_adjoint(
     network: QuantumNetwork,
     inputs: np.ndarray,
@@ -466,7 +562,7 @@ def _loss_and_grad_adjoint(
     loss: Loss,
     projection: Optional[Projection],
     delta: float,  # unused; kept for signature parity
-    engine: GradientEngine,  # unused; adjoint is already O(P) total
+    engine: GradientEngine,
 ) -> Tuple[float, np.ndarray]:
     """Exact reverse-mode: one traced forward + one backward sweep.
 
@@ -476,20 +572,30 @@ def _loss_and_grad_adjoint(
     through ``G^dagger`` (``G^T`` for the paper's real network) before
     moving to the previous gate.  Complex (``allow_phase``) networks read
     both the ``theta`` and ``alpha`` gradients off the same tape.
+
+    Three drives compute that same contraction:
+
+    - ``engine="looped"`` — the per-gate Python walk below, the
+      bit-exact reference;
+    - ``engine="batched"`` (default) on the ``numba`` backend — the
+      jitted tape/sweep kernel pair (:func:`_adjoint_jit`);
+    - ``engine="batched"`` elsewhere — the numpy vectorised sweep
+      (:func:`_adjoint_vectorized`), stacked per-layer GEMMs via the
+      prefix/suffix workspace's cross-layer recurrence.
     """
+    if engine == "batched":
+        backend = getattr(network, "backend", None)
+        if backend is not None and getattr(
+            backend, "supports_adjoint_kernels", False
+        ):
+            return _adjoint_jit(
+                network, backend, inputs, targets, loss, projection
+            )
+        return _adjoint_vectorized(network, inputs, targets, loss, projection)
     trace = network.forward_trace(np.asarray(inputs))
-    out = trace.output
-    if projection is not None:
-        out = projection.apply(out)
-    base = loss.value(out, targets)
-    lam = loss.dvalue(out, targets)
-    if np.iscomplexobj(lam) and not np.iscomplexobj(trace.row_tape):
-        # Real tape: the imaginary part of the adjoint cannot propagate
-        # (grad = Re<lam, dout> with real dout), so drop it explicitly.
-        lam = np.real(lam)
-    lam = np.array(lam, dtype=trace.row_tape.dtype, copy=True)
-    if projection is not None:
-        projection.apply_inplace(lam)
+    base, lam = _adjoint_loss_and_lambda(
+        trace.output, trace.row_tape.dtype, targets, loss, projection
+    )
 
     if not np.iscomplexobj(trace.row_tape):
         # Real fast path — bit-identical to the pre-complex implementation.
@@ -610,10 +716,12 @@ def loss_and_gradient(
         FD step; defaults to the paper's ``1e-8`` for ``"fd"`` and ``1e-6``
         for ``"central"``; ignored by the exact methods.
     engine:
-        How workspace-backed evaluations are driven: ``"batched"`` (the
-        default, layer-stacked einsums) or ``"looped"`` (one parameter at
-        a time, the bit-exact reference).  Ignored by ``"adjoint"`` and by
-        the re-execution fallback (networks whose backend lacks
+        How the gradient is driven: ``"batched"`` (the default —
+        layer-stacked einsums for the workspace methods, the
+        vectorised/jitted sweep for ``"adjoint"``) or ``"looped"`` (one
+        parameter / one gate at a time, the bit-exact reference).
+        Ignored only by the re-execution fallback of
+        ``fd``/``central``/``derivative`` (networks whose backend lacks
         ``supports_cached_gradients``).
 
     Examples

@@ -37,7 +37,9 @@ ENGINE_TOL = {
     "fd": 1e-8,
     "central": 1e-10,
     "derivative": 1e-12,
-    "adjoint": 0.0,  # adjoint ignores the engine: identical code path
+    # Batched adjoint is the vectorised/jitted sweep, looped the per-gate
+    # reference walk — exact methods both, agreeing at rounding level.
+    "adjoint": 1e-12,
 }
 
 

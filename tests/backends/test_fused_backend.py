@@ -21,7 +21,7 @@ def make_net(dim=5, layers=3, seed=2, **kwargs):
 
 class TestRegistry:
     def test_available(self):
-        assert available_backends() == ["fused", "loop", "sharded"]
+        assert available_backends() == ["fused", "loop", "numba", "sharded"]
 
     def test_make_by_name(self):
         assert isinstance(make_backend("fused"), FusedBackend)
@@ -40,7 +40,7 @@ class TestRegistry:
 
     def test_unknown_name_raises(self):
         with pytest.raises(BackendError, match="unknown backend"):
-            make_backend("numba")
+            make_backend("tensorflow")
 
     def test_backend_cannot_be_shared(self):
         net = make_net()
