@@ -205,18 +205,35 @@ class Codec:
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def fit(self, X: np.ndarray, target_strategy=None) -> "Codec":
+    def fit(self, X, target_strategy=None) -> "Codec":
         """Train both networks on ``(M, N)`` classical data (Algorithm 1).
 
-        ``target_strategy`` defaults to the spec's ``target`` choice
-        (the calibrated per-sample PCA target).  Returns ``self``; the
-        full :class:`~repro.training.trainer.TrainingResult` is kept on
+        ``X`` may be an ``(M, N)`` array, an
+        :class:`~repro.data.dataset.ImageDataset`, a
+        :class:`~repro.data.stream.MiniBatchStream` (trained with the
+        stream's own batch size unless the spec sets one), or a path to a
+        ``.npy``/``.npz``/results-JSON data file.  ``target_strategy``
+        defaults to the spec's ``target`` choice (the calibrated
+        per-sample PCA target).  Returns ``self``; the full
+        :class:`~repro.training.trainer.TrainingResult` is kept on
         :attr:`last_result`.
         """
+        from repro.data.dataset import ImageDataset
+        from repro.data.stream import MiniBatchStream, load_data_matrix
+
+        spec = self.spec
+        if isinstance(X, MiniBatchStream):
+            if spec.batch_size is None:
+                spec = spec.with_(batch_size=X.batch_size)
+            X = X.materialize()
+        elif isinstance(X, ImageDataset):
+            X = X.matrix()
+        elif isinstance(X, (str, Path)):
+            X = load_data_matrix(X)
         X = np.asarray(X, dtype=np.float64)
         if target_strategy is None:
-            target_strategy = self.spec.build_target_strategy(self._ae, X)
-        trainer = self.spec.build_trainer(record_theta_every=None)
+            target_strategy = spec.build_target_strategy(self._ae, X)
+        trainer = spec.build_trainer(record_theta_every=None)
         self.last_result = trainer.train(
             self._ae, X, target_strategy=target_strategy
         )

@@ -73,6 +73,12 @@ class CodecSpec:
     loss_mode: LossMode = "sum"
     target: TargetName = "pca"
     seed: int = 2024
+    #: Mini-batch size per gradient step; ``None`` = full batch (the
+    #: paper's regime).
+    batch_size: Optional[int] = None
+    #: Data-parallel gradient execution: ``None`` (single-process),
+    #: ``"pool"`` or ``"pool:K"`` — see ``Trainer(parallel=...)``.
+    parallel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.compressed_dim >= self.dim:
@@ -96,6 +102,17 @@ class CodecSpec:
             raise NetworkConfigError(
                 f"loss_mode must be 'sum' or 'mean', got {self.loss_mode!r}"
             )
+        if self.batch_size is not None and self.batch_size < 1:
+            raise NetworkConfigError(
+                f"batch_size must be >= 1 or None, got {self.batch_size}"
+            )
+        from repro.parallel.reducer import validate_parallel_spec
+
+        object.__setattr__(
+            self,
+            "parallel",
+            validate_parallel_spec(self.parallel, NetworkConfigError),
+        )
         if self.projection is not None:
             object.__setattr__(
                 self, "projection", tuple(int(k) for k in self.projection)
@@ -208,6 +225,8 @@ class CodecSpec:
             trace_sample=trace_sample,
             record_theta_every=record_theta_every,
             update_reduction=self.loss_mode,
+            batch_size=self.batch_size,
+            parallel=self.parallel,
         )
 
     def build_target_strategy(
@@ -247,4 +266,6 @@ class CodecSpec:
             iterations=config.iterations,
             target=config.target,
             seed=config.seed,
+            batch_size=getattr(config, "batch_size", None),
+            parallel=getattr(config, "parallel", None),
         )

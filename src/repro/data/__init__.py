@@ -9,6 +9,7 @@ images and noise models support the ablation experiments.
 """
 
 from repro.data.dataset import ImageDataset
+from repro.data.stream import MiniBatch, MiniBatchStream, load_data_matrix
 from repro.data.glyphs import GLYPHS_4X4, glyph, available_glyphs
 from repro.data.binary_images import (
     paper_dataset,
@@ -27,6 +28,9 @@ from repro.data.noise import flip_pixels, add_gaussian_noise, salt_and_pepper
 
 __all__ = [
     "ImageDataset",
+    "MiniBatch",
+    "MiniBatchStream",
+    "load_data_matrix",
     "GLYPHS_4X4",
     "glyph",
     "available_glyphs",

@@ -1,0 +1,326 @@
+"""Streaming shuffled mini-batches: :class:`MiniBatchStream`.
+
+The trainer's mini-batch regime used to draw a random index subset per
+iteration directly in the training loop — fine for the paper's 25
+in-memory samples, wasteful once the data lives on disk (``.npy``
+memmaps) or the gradient runs on a worker pool while the parent sits
+idle.  :class:`MiniBatchStream` separates *scheduling* from *gathering*:
+
+- **Deterministic schedule** — each epoch ``e`` is a full permutation
+  drawn from ``SeedSequence(seed, spawn_key=(e,))`` (or the identity
+  when ``shuffle=False``), cut into ``batch_size`` slices.  The schedule
+  is a pure function of ``(seed, num_samples, batch_size, epoch)`` —
+  independent of consumption timing, prefetch depth, or worker count —
+  which is what lets ``benchmarks/bench_training.py`` demand gradient
+  equality "at identical batch order".
+- **Background gathering** — :meth:`batches` runs the index gathers on
+  a daemon prefetch thread feeding a bounded queue, so disk reads (for
+  memmap-backed sources) and batch assembly overlap the consumer's
+  compute.  ``prefetch=0`` degrades to fully synchronous iteration.
+
+Sources: an ``(M, N)`` array, a tuple of arrays sharing a sample axis
+(e.g. inputs + targets), an :class:`~repro.data.dataset.ImageDataset`,
+or a path (``.npy`` opened as a memmap, ``.npz``, or a results JSON
+holding ``"X"``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from pathlib import Path
+from typing import Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+
+__all__ = ["MiniBatch", "MiniBatchStream", "load_data_matrix"]
+
+PathLike = Union[str, Path]
+
+#: Queue messages: ("batch", MiniBatch) | ("done", None) | ("error", exc).
+_DONE = "done"
+
+
+def load_data_matrix(path: PathLike) -> np.ndarray:
+    """Load an ``(M, N)`` data matrix from ``.npy``/``.npz``/results JSON.
+
+    ``.npy`` files open as read-only memmaps (batch gathers then read
+    only the touched rows from disk); ``.npz`` archives use their ``X``
+    entry (or their only entry); JSON files go through
+    :func:`repro.io.results_io.load_results` and must hold ``"X"``.
+    """
+    p = Path(path)
+    if not p.exists():
+        raise DatasetError(f"no such data file: {p}")
+    suffix = p.suffix.lower()
+    if suffix == ".npy":
+        return np.load(p, mmap_mode="r")
+    if suffix == ".npz":
+        with np.load(p) as archive:
+            names = list(archive.files)
+            key = "X" if "X" in names else names[0] if len(names) == 1 else None
+            if key is None:
+                raise DatasetError(
+                    f"{p} holds {names}; expected an 'X' entry (or a "
+                    "single-array archive)"
+                )
+            return np.asarray(archive[key])
+    from repro.io.results_io import load_results
+
+    results = load_results(p)
+    if "X" not in results:
+        raise DatasetError(
+            f"{p} has no 'X' entry; expected a results JSON holding an "
+            "(M, N) data matrix under 'X'"
+        )
+    return np.asarray(results["X"], dtype=np.float64)
+
+
+class MiniBatch:
+    """One scheduled batch: its position, indices and gathered arrays."""
+
+    __slots__ = ("epoch", "step", "indices", "arrays")
+
+    def __init__(
+        self,
+        epoch: int,
+        step: int,
+        indices: np.ndarray,
+        arrays: Tuple[np.ndarray, ...],
+    ) -> None:
+        self.epoch = epoch
+        #: Global batch counter (monotonic across epochs).
+        self.step = step
+        self.indices = indices
+        self.arrays = arrays
+
+    @property
+    def data(self) -> np.ndarray:
+        """The first (or only) gathered array."""
+        return self.arrays[0]
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.indices.size)
+
+    def __repr__(self) -> str:
+        return (
+            f"MiniBatch(epoch={self.epoch}, step={self.step}, "
+            f"samples={self.num_samples})"
+        )
+
+
+class MiniBatchStream:
+    """Seeded, epoch-shuffled mini-batches with background prefetch.
+
+    Parameters
+    ----------
+    source:
+        An array, a tuple/list of arrays sharing ``axis``, an
+        :class:`~repro.data.dataset.ImageDataset` (its ``(M, N)``
+        matrix), or a path accepted by :func:`load_data_matrix`.
+    batch_size:
+        Samples per batch; the final batch of an epoch may be smaller
+        unless ``drop_last``.
+    axis:
+        The sample axis of every source array (0 for ``(M, N)`` data
+        matrices, 1 for ``(N, M)`` amplitude batches).
+    seed, shuffle:
+        Epoch ``e`` uses the permutation drawn from
+        ``SeedSequence(seed, spawn_key=(e,))``; ``shuffle=False`` keeps
+        natural order (the schedule stays a pure function of its
+        arguments either way).
+    prefetch:
+        Batches gathered ahead on a background thread; ``0`` disables
+        the thread entirely.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> stream = MiniBatchStream(np.arange(20.0).reshape(10, 2), 4, seed=7)
+    >>> stream.num_samples, stream.batches_per_epoch
+    (10, 3)
+    >>> [mb.num_samples for mb in stream.batches(3)]
+    [4, 4, 2]
+    >>> a = [mb.indices.tolist() for mb in stream.batches(3)]
+    >>> b = [mb.indices.tolist() for mb in stream.batches(3)]
+    >>> a == b  # the schedule is deterministic, prefetch or not
+    True
+    """
+
+    def __init__(
+        self,
+        source,
+        batch_size: int,
+        axis: int = 0,
+        seed: int = 0,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        prefetch: int = 2,
+    ) -> None:
+        if batch_size < 1:
+            raise DatasetError(
+                f"batch_size must be >= 1, got {batch_size}"
+            )
+        if axis not in (0, 1):
+            raise DatasetError(f"axis must be 0 or 1, got {axis}")
+        if prefetch < 0:
+            raise DatasetError(f"prefetch must be >= 0, got {prefetch}")
+        self.arrays = self._resolve_source(source)
+        for arr in self.arrays:
+            if arr.ndim < axis + 1:
+                raise DatasetError(
+                    f"source array of shape {arr.shape} has no axis {axis}"
+                )
+        counts = {arr.shape[axis] for arr in self.arrays}
+        if len(counts) != 1:
+            raise DatasetError(
+                f"source arrays disagree on sample count along axis "
+                f"{axis}: {sorted(counts)}"
+            )
+        self.num_samples = counts.pop()
+        if self.num_samples < 1:
+            raise DatasetError("stream source holds no samples")
+        self.batch_size = int(batch_size)
+        self.axis = axis
+        self.seed = int(seed)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self.prefetch = int(prefetch)
+
+    @staticmethod
+    def _resolve_source(source) -> Tuple[np.ndarray, ...]:
+        from repro.data.dataset import ImageDataset
+
+        if isinstance(source, ImageDataset):
+            return (source.matrix(),)
+        if isinstance(source, (str, Path)):
+            return (load_data_matrix(source),)
+        if isinstance(source, (tuple, list)):
+            if not source:
+                raise DatasetError("source tuple must hold >= 1 array")
+            return tuple(np.asarray(a) for a in source)
+        arr = np.asarray(source)
+        return (arr,)
+
+    # ------------------------------------------------------------------
+    # schedule (pure functions — no I/O, no state)
+    # ------------------------------------------------------------------
+    @property
+    def batches_per_epoch(self) -> int:
+        full, rem = divmod(self.num_samples, self.batch_size)
+        return full + (1 if rem and not self.drop_last else 0)
+
+    def __len__(self) -> int:
+        return self.batches_per_epoch
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """The deterministic sample permutation of epoch ``epoch``."""
+        if not self.shuffle:
+            return np.arange(self.num_samples)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self.seed, spawn_key=(int(epoch),))
+        )
+        return rng.permutation(self.num_samples)
+
+    def epoch_batches(self, epoch: int) -> list:
+        """Epoch ``epoch``'s schedule as a list of index arrays."""
+        order = self.epoch_order(epoch)
+        cuts = range(0, self.num_samples, self.batch_size)
+        batches = [order[i: i + self.batch_size] for i in cuts]
+        if self.drop_last and batches and batches[-1].size < self.batch_size:
+            batches.pop()
+        return batches
+
+    # ------------------------------------------------------------------
+    # gathering
+    # ------------------------------------------------------------------
+    def _gather(self, indices: np.ndarray) -> Tuple[np.ndarray, ...]:
+        # np.take materialises a contiguous private copy — for memmap
+        # sources this is the actual disk read, done off-thread.
+        return tuple(
+            np.take(arr, indices, axis=self.axis) for arr in self.arrays
+        )
+
+    def _produce(
+        self, num_batches: Optional[int], start_epoch: int
+    ) -> Iterator[MiniBatch]:
+        step = 0
+        epoch = int(start_epoch)
+        while num_batches is None or step < num_batches:
+            for indices in self.epoch_batches(epoch):
+                if num_batches is not None and step >= num_batches:
+                    return
+                yield MiniBatch(epoch, step, indices, self._gather(indices))
+                step += 1
+            epoch += 1
+
+    def batches(
+        self, num_batches: Optional[int] = None, start_epoch: int = 0
+    ) -> Iterator[MiniBatch]:
+        """Iterate ``num_batches`` batches across epochs (``None`` =
+        unbounded), gathering up to ``prefetch`` batches ahead on a
+        background thread.  Closing the generator (or exhausting it)
+        always stops and joins the thread.
+        """
+        producer = self._produce(num_batches, start_epoch)
+        if self.prefetch < 1:
+            yield from producer
+            return
+        q: "queue.Queue" = queue.Queue(maxsize=self.prefetch)
+        stop = threading.Event()
+
+        def pump() -> None:
+            try:
+                for batch in producer:
+                    while not stop.is_set():
+                        try:
+                            q.put(("batch", batch), timeout=0.1)
+                            break
+                        except queue.Full:
+                            continue
+                    if stop.is_set():
+                        return
+                item = (_DONE, None)
+            except BaseException as exc:  # surface in the consumer
+                item = ("error", exc)
+            while not stop.is_set():
+                try:
+                    q.put(item, timeout=0.1)
+                    return
+                except queue.Full:
+                    continue
+
+        thread = threading.Thread(
+            target=pump, name="minibatch-prefetch", daemon=True
+        )
+        thread.start()
+        try:
+            while True:
+                kind, value = q.get()
+                if kind == _DONE:
+                    return
+                if kind == "error":
+                    raise value
+                yield value
+        finally:
+            stop.set()
+            thread.join(timeout=5.0)
+
+    def __iter__(self) -> Iterator[MiniBatch]:
+        """One epoch (epoch 0) of batches."""
+        return self.batches(self.batches_per_epoch)
+
+    def materialize(self) -> np.ndarray:
+        """The full first source array, loaded into memory, natural order."""
+        return np.asarray(self.arrays[0])
+
+    def __repr__(self) -> str:
+        return (
+            f"MiniBatchStream(samples={self.num_samples}, "
+            f"batch_size={self.batch_size}, axis={self.axis}, "
+            f"seed={self.seed}, shuffle={self.shuffle}, "
+            f"prefetch={self.prefetch})"
+        )

@@ -78,6 +78,16 @@ def _backend_spec(value: str) -> str:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _parallel_spec(value: str) -> Optional[str]:
+    """argparse type for ``--parallel``: ``none``, ``pool`` or ``pool:K``."""
+    from repro.parallel.reducer import validate_parallel_spec
+
+    try:
+        return validate_parallel_spec(value)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -185,6 +195,32 @@ def build_parser() -> argparse.ArgumentParser:
                      help="renormalise the projected state (post-selection)")
     ptr.add_argument("--allow-phase", action="store_true",
                      help="Section V complex (trainable alpha) extension")
+    ptr.add_argument(
+        "--parallel",
+        type=_parallel_spec,
+        metavar="{none,pool,pool:K}",
+        default=None,
+        help=(
+            "data-parallel gradient execution: 'pool' shards every "
+            "gradient step over one worker per usable CPU, 'pool:K' over "
+            "exactly K workers (deterministic tree reduction; see "
+            "docs/training.md)"
+        ),
+    )
+    ptr.add_argument(
+        "--batch-size", type=int, default=None,
+        help=(
+            "mini-batch size per gradient step (seeded epoch shuffle, "
+            "prefetched); default: full batch, the paper's regime"
+        ),
+    )
+    ptr.add_argument(
+        "--input", type=str, default=None,
+        help=(
+            "train on this data file (.npy/.npz/results JSON holding "
+            "'X') instead of the paper dataset"
+        ),
+    )
 
     pc = sub.add_parser(
         "compress",
@@ -294,9 +330,16 @@ def _run_train(args: argparse.Namespace) -> dict:
         optimizer=args.optimizer,
         iterations=args.iterations,
         seed=args.seed,
+        batch_size=args.batch_size,
+        parallel=args.parallel,
     )
     codec = Codec(spec)
-    X = _default_dataset(spec.dim, args.seed)
+    if args.input:
+        from repro.data.stream import load_data_matrix
+
+        X = np.asarray(load_data_matrix(args.input), dtype=np.float64)
+    else:
+        X = _default_dataset(spec.dim, args.seed)
     t0 = time.perf_counter()
     codec.fit(X)
     seconds = time.perf_counter() - t0

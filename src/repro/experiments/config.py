@@ -67,6 +67,8 @@ class PaperConfig:
     target: TargetName = "pca"
     trace_sample: int = 24             # Fig. 4e/f trace "Figure 25"
     allow_phase: bool = False          # True = Section V complex network
+    batch_size: Optional[int] = None   # mini-batch size (None = full batch)
+    parallel: Optional[str] = None     # data-parallel: "pool" | "pool:K"
 
     def __post_init__(self) -> None:
         if self.compressed_dim >= self.dim:
@@ -85,11 +87,21 @@ class PaperConfig:
             raise ExperimentError(f"unknown optimizer {self.optimizer!r}")
         if self.target not in ("pca", "restrict", "uniform"):
             raise ExperimentError(f"unknown target {self.target!r}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ExperimentError(
+                f"batch_size must be >= 1 or None, got {self.batch_size}"
+            )
         from repro.backends import validate_backend_name
+        from repro.parallel.reducer import validate_parallel_spec
         from repro.training.gradients import validate_gradient_engine
 
         validate_backend_name(self.backend, ExperimentError)
         validate_gradient_engine(self.grad_engine, ExperimentError)
+        object.__setattr__(
+            self,
+            "parallel",
+            validate_parallel_spec(self.parallel, ExperimentError),
+        )
 
     # ------------------------------------------------------------------
     @property

@@ -12,13 +12,28 @@ work with processes), this subpackage provides:
   spawn-context process pool with shared-memory block transfer, behind
   both the ``sharded`` execution backend and pool-attached serving
   sessions;
+- :mod:`~repro.parallel.reducer` — :class:`GradientReducer`, the
+  data-parallel training engine: per-shard ``loss_and_gradient`` on the
+  pool (batch or perturbation-stack sharding) combined by a
+  deterministic :func:`tree_reduce`, behind ``Trainer(parallel="pool")``;
 - :mod:`~repro.parallel.sweep` — a seeded multiprocessing executor for
   parameter sweeps (layer counts, learning rates, noise levels), used by
   the ablation experiments and built on :class:`WorkerPool`.
 """
 
 from repro.parallel.batch import chunked_apply, chunked_forward, ChunkedPipeline
-from repro.parallel.pool import WorkerPool, default_worker_count
+from repro.parallel.pool import (
+    WorkerPool,
+    default_worker_count,
+    worker_index,
+    worker_rng,
+)
+from repro.parallel.reducer import (
+    GradientReducer,
+    resolve_parallel_workers,
+    tree_reduce,
+    validate_parallel_spec,
+)
 from repro.parallel.sharding import Shard, plan_shards, shard_views
 from repro.parallel.sweep import SweepResult, run_sweep, sweep_grid
 
@@ -26,12 +41,18 @@ __all__ = [
     "chunked_apply",
     "chunked_forward",
     "ChunkedPipeline",
+    "GradientReducer",
     "Shard",
     "SweepResult",
     "WorkerPool",
     "default_worker_count",
     "plan_shards",
+    "resolve_parallel_workers",
     "run_sweep",
     "shard_views",
     "sweep_grid",
+    "tree_reduce",
+    "validate_parallel_spec",
+    "worker_index",
+    "worker_rng",
 ]

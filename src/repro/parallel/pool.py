@@ -37,7 +37,12 @@ import numpy as np
 from repro.exceptions import DimensionError, ExperimentError
 from repro.parallel.sharding import plan_shards
 
-__all__ = ["WorkerPool", "default_worker_count"]
+__all__ = [
+    "WorkerPool",
+    "default_worker_count",
+    "worker_rng",
+    "worker_index",
+]
 
 #: Environment knobs that cap BLAS threading in spawned workers.
 _BLAS_ENV_VARS = (
@@ -82,6 +87,60 @@ def attach_shared_block(name: str) -> shared_memory.SharedMemory:
     stdlib contract moves again.
     """
     return shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# worker-side seeded RNG (per-worker streams for stochastic workloads)
+# ----------------------------------------------------------------------
+#: Set by :func:`_seeded_initializer` inside each worker of a pool
+#: constructed with ``seed=...``; ``None`` in the parent process and in
+#: workers of unseeded pools.
+_WORKER_RNG: Optional[np.random.Generator] = None
+_WORKER_INDEX: Optional[int] = None
+
+
+def worker_index() -> Optional[int]:
+    """This worker's 0-based slot in a seeded pool (``None`` elsewhere)."""
+    return _WORKER_INDEX
+
+
+def worker_rng() -> np.random.Generator:
+    """This worker's seeded generator (pools constructed with ``seed=``).
+
+    Each worker claims a distinct index ``i`` at spawn and derives its
+    stream from ``SeedSequence(seed, spawn_key=(i,))``, so the *set* of
+    streams across the pool is a pure function of ``(seed, processes)``
+    — shot-noise and stochastic-gradient workloads are reproducible
+    run-to-run.  (Which OS process holds which index is scheduler
+    dependent; workloads needing per-*task* determinism should key their
+    randomness on the task payload instead.)
+    """
+    if _WORKER_RNG is None:
+        raise ExperimentError(
+            "worker_rng() is only defined inside a worker of a "
+            "WorkerPool constructed with seed=...; this process has no "
+            "seeded stream"
+        )
+    return _WORKER_RNG
+
+
+def _seeded_initializer(
+    seed: int,
+    counter,
+    user_initializer: Optional[Callable],
+    user_initargs: Tuple,
+) -> None:
+    """Claim a worker slot, seed this worker's stream, chain the user init."""
+    global _WORKER_RNG, _WORKER_INDEX
+    with counter.get_lock():
+        index = int(counter.value)
+        counter.value = index + 1
+    _WORKER_INDEX = index
+    _WORKER_RNG = np.random.default_rng(
+        np.random.SeedSequence(seed, spawn_key=(index,))
+    )
+    if user_initializer is not None:
+        user_initializer(*user_initargs)
 
 
 # ----------------------------------------------------------------------
@@ -181,6 +240,11 @@ class WorkerPool:
         BLAS thread cap exported to workers at spawn (``None`` leaves
         the environment alone).  Defaults to 1: ``K`` workers on ``K``
         cores, no oversubscription.
+    seed:
+        When given, every worker receives a distinct deterministic RNG
+        stream at spawn (``SeedSequence(seed, spawn_key=(i,))`` for slot
+        ``i``), readable inside tasks via :func:`worker_rng` /
+        :func:`worker_index`.  ``None`` (default) skips the plumbing.
 
     Examples
     --------
@@ -195,6 +259,7 @@ class WorkerPool:
         initializer: Optional[Callable] = None,
         initargs: Sequence = (),
         blas_threads: Optional[int] = 1,
+        seed: Optional[int] = None,
     ) -> None:
         if processes is not None and processes < 1:
             raise ExperimentError(
@@ -206,6 +271,7 @@ class WorkerPool:
         self._initializer = initializer
         self._initargs = tuple(initargs)
         self._blas_threads = blas_threads
+        self._seed = None if seed is None else int(seed)
         # Mutable state shared with the weakref finalizer so teardown
         # never needs (and never resurrects) self.
         self._state: dict = {"pool": None, "segments": {}}
@@ -233,10 +299,19 @@ class WorkerPool:
             # with BLAS threads); children re-import, reading the capped
             # thread environment above.
             ctx = get_context("spawn")
+            initializer, initargs = self._initializer, self._initargs
+            if self._seed is not None:
+                # Slot claims go through a shared counter so worker i's
+                # stream depends only on (seed, i), never on spawn order.
+                counter = ctx.Value("i", 0)
+                initializer = _seeded_initializer
+                initargs = (
+                    self._seed, counter, self._initializer, self._initargs,
+                )
             self._state["pool"] = ctx.Pool(
                 processes=self.processes,
-                initializer=self._initializer,
-                initargs=self._initargs,
+                initializer=initializer,
+                initargs=initargs,
             )
         finally:
             if self._blas_threads is not None:
@@ -275,7 +350,11 @@ class WorkerPool:
 
         ``fn`` must be picklable by reference (a module-level callable);
         one payload per task, chunk size 1 so shards spread evenly.
+        An empty payload list returns ``[]`` without spawning workers.
         """
+        payloads = list(payloads)
+        if not payloads:
+            return []
         self.start()
         return self._state["pool"].map(fn, payloads, chunksize=1)
 

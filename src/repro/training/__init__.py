@@ -55,7 +55,12 @@ from repro.training.callbacks import (
     ProgressPrinter,
     NaNGuard,
 )
-from repro.training.trainer import Trainer, TrainingHistory, TrainingResult
+from repro.training.trainer import (
+    FloatSeries,
+    Trainer,
+    TrainingHistory,
+    TrainingResult,
+)
 from repro.training.hardware import (
     SPSA,
     ShotBasedObjective,
@@ -93,6 +98,7 @@ __all__ = [
     "EarlyStopping",
     "ProgressPrinter",
     "NaNGuard",
+    "FloatSeries",
     "Trainer",
     "TrainingHistory",
     "TrainingResult",

@@ -38,9 +38,86 @@ from repro.training.loss import SquaredErrorLoss
 from repro.training.metrics import paper_accuracy, pixel_accuracy
 from repro.training.optimizers import GradientDescent, Optimizer
 
-__all__ = ["Trainer", "TrainingHistory", "TrainingResult"]
+__all__ = ["FloatSeries", "Trainer", "TrainingHistory", "TrainingResult"]
 
 Schedule = Literal["joint", "sequential"]
+
+
+class FloatSeries:
+    """A float64 list with preallocated storage (amortised appends).
+
+    The per-iteration scalar records used to be python lists — ``Ite``
+    object boxings and reallocation churn per series per run, and an
+    O(n) conversion every ``as_arrays``.  This keeps a numpy buffer that
+    :meth:`TrainingHistory.reserve` sizes once for a known iteration
+    budget, while preserving the list surface the analysis code uses
+    (``append``, ``len``, indexing incl. negative, iteration, truthiness
+    and ``np.asarray`` views).
+    """
+
+    __slots__ = ("_data", "_size")
+
+    def __init__(self, values=()) -> None:
+        values = np.asarray(values, dtype=np.float64)
+        self._data = values.copy()
+        self._size = int(values.size)
+
+    def reserve(self, capacity: int) -> None:
+        """Grow the backing buffer to ``capacity`` (never shrinks)."""
+        if capacity > self._data.size:
+            grown = np.empty(int(capacity), dtype=np.float64)
+            grown[: self._size] = self._data[: self._size]
+            self._data = grown
+
+    def append(self, value: float) -> None:
+        if self._size == self._data.size:
+            self.reserve(max(8, 2 * self._data.size))
+        self._data[self._size] = value
+        self._size += 1
+
+    def values(self) -> np.ndarray:
+        """A read-through view of the filled prefix."""
+        return self._data[: self._size]
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self):
+        return iter(self.values())
+
+    def __getitem__(self, index):
+        return self.values()[index]
+
+    def __array__(self, dtype=None, copy=None):
+        values = self.values()
+        if copy or (dtype is not None and dtype != values.dtype):
+            return np.array(values, dtype=dtype)
+        return values
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (FloatSeries, list, tuple, np.ndarray)):
+            return np.array_equal(
+                self.values(), np.asarray(other, dtype=np.float64)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"FloatSeries({self.values().tolist()!r})"
+
+
+#: The per-iteration scalar records (everything Fig. 4c/4d plots).
+_SCALAR_SERIES = (
+    "loss_c",
+    "loss_r",
+    "accuracy",
+    "raw_accuracy",
+    "retained_probability",
+    "grad_norm_c",
+    "grad_norm_r",
+)
 
 
 @dataclass
@@ -59,13 +136,13 @@ class TrainingHistory:
       "the update gradient of theta decreases to 0").
     """
 
-    loss_c: List[float] = field(default_factory=list)
-    loss_r: List[float] = field(default_factory=list)
-    accuracy: List[float] = field(default_factory=list)
-    raw_accuracy: List[float] = field(default_factory=list)
-    retained_probability: List[float] = field(default_factory=list)
-    grad_norm_c: List[float] = field(default_factory=list)
-    grad_norm_r: List[float] = field(default_factory=list)
+    loss_c: FloatSeries = field(default_factory=FloatSeries)
+    loss_r: FloatSeries = field(default_factory=FloatSeries)
+    accuracy: FloatSeries = field(default_factory=FloatSeries)
+    raw_accuracy: FloatSeries = field(default_factory=FloatSeries)
+    retained_probability: FloatSeries = field(default_factory=FloatSeries)
+    grad_norm_c: FloatSeries = field(default_factory=FloatSeries)
+    grad_norm_r: FloatSeries = field(default_factory=FloatSeries)
     output_trace: List[np.ndarray] = field(default_factory=list)
     compressed_trace: List[np.ndarray] = field(default_factory=list)
     theta_c: List[np.ndarray] = field(default_factory=list)
@@ -76,6 +153,11 @@ class TrainingHistory:
     @property
     def num_iterations(self) -> int:
         return len(self.loss_r)
+
+    def reserve(self, iterations: int) -> None:
+        """Preallocate every scalar series for a known iteration budget."""
+        for key in _SCALAR_SERIES:
+            getattr(self, key).reserve(iterations)
 
     def min_loss_c(self) -> float:
         return min(self.loss_c) if self.loss_c else float("nan")
@@ -89,15 +171,7 @@ class TrainingHistory:
     def as_arrays(self) -> dict:
         """Convert list fields to numpy arrays (for plotting/serialisation)."""
         out: dict = {}
-        for key in (
-            "loss_c",
-            "loss_r",
-            "accuracy",
-            "raw_accuracy",
-            "retained_probability",
-            "grad_norm_c",
-            "grad_norm_r",
-        ):
+        for key in _SCALAR_SERIES:
             out[key] = np.asarray(getattr(self, key))
         for key in ("output_trace", "compressed_trace", "theta_c", "theta_r"):
             seq = getattr(self, key)
@@ -157,6 +231,16 @@ class Trainer:
         (per-parameter reference); ``None`` uses the default.  Only
         meaningful with a caching backend — see
         :func:`repro.training.gradients.loss_and_gradient`.
+    parallel:
+        Data-parallel gradient execution: ``None`` (single-process,
+        default), ``"pool"`` (one worker per usable CPU) or ``"pool:K"``
+        (exactly ``K`` workers).  Every gradient step then runs through a
+        :class:`~repro.parallel.reducer.GradientReducer` — the sample
+        batch (or, for ``fd``/``central``, the parameter-perturbation
+        stack) scattered over a persistent worker pool and tree-reduced
+        deterministically.  The schedule, history and callbacks are
+        identical to single-process training at the same batch order;
+        see ``docs/training.md``.
 
     Examples
     --------
@@ -185,6 +269,7 @@ class Trainer:
         batch_seed: int = 0,
         backend: Optional[str] = None,
         grad_engine: Optional[str] = None,
+        parallel: Optional[str] = None,
     ) -> None:
         if iterations < 1:
             raise TrainingError(f"iterations must be >= 1, got {iterations}")
@@ -211,10 +296,11 @@ class Trainer:
                 f"batch_size must be >= 1 or None, got {batch_size}"
             )
         # Mini-batch ("batch gradient descent ... for larger data",
-        # Section III-C): each iteration draws a random sample subset for
-        # the gradient; None = full-batch (the paper's default regime).
+        # Section III-C): each iteration takes the next slice of a seeded
+        # epoch shuffle (MiniBatchStream, prefetched off-thread);
+        # None = full-batch (the paper's default regime).
         self.batch_size = batch_size
-        self._batch_rng = np.random.default_rng(batch_seed)
+        self.batch_seed = int(batch_seed)
         self.callbacks: List[Callback] = [NaNGuard(), *callbacks]
         self.fd_delta = fd_delta
         self.backend = backend
@@ -225,6 +311,10 @@ class Trainer:
             if grad_engine is None
             else validate_gradient_engine(grad_engine, TrainingError)
         )
+        from repro.parallel.reducer import validate_parallel_spec
+
+        self.parallel = validate_parallel_spec(parallel, TrainingError)
+        self._reducer = None
         # Eq. (7) defines the gradient on the *sum* loss (no normalisation);
         # Algorithm 1's pseudo-code divides by M*N, but with eta = 0.01 that
         # normalised form cannot reach the near-zero losses Fig. 4c shows in
@@ -256,12 +346,31 @@ class Trainer:
                 f"trace_sample {self.trace_sample} out of range for "
                 f"{encoded.num_samples} samples"
             )
-        if self.schedule == "joint":
-            history = self._train_joint(autoencoder, encoded, target_strategy)
-        else:
-            history = self._train_sequential(
-                autoencoder, encoded, target_strategy
-            )
+        from repro.parallel.reducer import (
+            GradientReducer,
+            resolve_parallel_workers,
+        )
+
+        workers = resolve_parallel_workers(self.parallel)
+        reducer = (
+            GradientReducer(num_workers=workers, seed=self.batch_seed)
+            if workers is not None and workers > 1
+            else None
+        )
+        self._reducer = reducer
+        try:
+            if self.schedule == "joint":
+                history = self._train_joint(
+                    autoencoder, encoded, target_strategy
+                )
+            else:
+                history = self._train_sequential(
+                    autoencoder, encoded, target_strategy
+                )
+        finally:
+            self._reducer = None
+            if reducer is not None:
+                reducer.close()
         out = autoencoder.forward_encoded(encoded)
         x_hat = out.x_hat
         x_ref = np.asarray(X, dtype=np.float64)
@@ -292,16 +401,28 @@ class Trainer:
         targets: np.ndarray,
         projection,
     ) -> tuple[float, float]:
-        loss_val, grad = loss_and_gradient(
-            network,
-            inputs,
-            targets,
-            loss=self._update_loss,
-            projection=projection,
-            method=self.gradient_method,
-            delta=self.fd_delta,
-            engine=self.grad_engine,
-        )
+        if self._reducer is not None:
+            loss_val, grad = self._reducer.loss_and_gradient(
+                network,
+                inputs,
+                targets,
+                loss=self._update_loss,
+                projection=projection,
+                method=self.gradient_method,
+                delta=self.fd_delta,
+                engine=self.grad_engine,
+            )
+        else:
+            loss_val, grad = loss_and_gradient(
+                network,
+                inputs,
+                targets,
+                loss=self._update_loss,
+                projection=projection,
+                method=self.gradient_method,
+                delta=self.fd_delta,
+                engine=self.grad_engine,
+            )
         params = network.get_flat_params()
         network.set_flat_params(optimizer.step(params, grad))
         return loss_val, float(np.linalg.norm(grad))
@@ -364,6 +485,7 @@ class Trainer:
         target_strategy: CompressionTargetStrategy,
     ) -> TrainingHistory:
         history = TrainingHistory()
+        history.reserve(self.iterations)
         wall0, cpu0 = time.perf_counter(), time.process_time()
         a_in = encoded.amplitudes()
         x_ref = decode_batch(a_in, encoded.squared_norms)
@@ -375,44 +497,62 @@ class Trainer:
         for cb in self.callbacks:
             cb.on_train_start(context)
         m = a_in.shape[1]
-        for it in range(self.iterations):
-            if self.batch_size is not None and self.batch_size < m:
-                idx = self._batch_rng.choice(
-                    m, size=self.batch_size, replace=False
+        batch_iter = None
+        if self.batch_size is not None and self.batch_size < m:
+            from repro.data.stream import MiniBatchStream
+
+            # Inputs and targets share the sample axis (columns); the
+            # stream's prefetch thread gathers the next slice of the
+            # epoch shuffle while the gradient step below computes.
+            stream = MiniBatchStream(
+                (a_in, b_targets),
+                self.batch_size,
+                axis=1,
+                seed=self.batch_seed,
+                prefetch=2,
+            )
+            batch_iter = stream.batches(self.iterations)
+        try:
+            for it in range(self.iterations):
+                if batch_iter is not None:
+                    mb = next(batch_iter)
+                    x_c, t_c = mb.arrays
+                    r_target = x_c
+                else:
+                    x_c, t_c = a_in, b_targets
+                    r_target = a_in
+                loss_c, gnorm_c = self._grad_step(
+                    autoencoder.uc,
+                    opt_c,
+                    x_c,
+                    t_c,
+                    autoencoder.projection,
                 )
-                x_c, t_c = a_in[:, idx], b_targets[:, idx]
-            else:
-                x_c, t_c = a_in, b_targets
-            loss_c, gnorm_c = self._grad_step(
-                autoencoder.uc,
-                opt_c,
-                x_c,
-                t_c,
-                autoencoder.projection,
-            )
-            # U_R trains on the same inputs inference feeds it, including
-            # the renormalize (post-selection) variant.
-            compressed = autoencoder.compression.compress(
-                x_c, renormalize=autoencoder.renormalize
-            )
-            loss_r, gnorm_r = self._grad_step(
-                autoencoder.ur, opt_r, compressed,
-                a_in if x_c is a_in else a_in[:, idx], None
-            )
-            record = self._record_iteration(
-                history,
-                it,
-                autoencoder,
-                encoded,
-                x_ref,
-                loss_c,
-                loss_r,
-                gnorm_c,
-                gnorm_r,
-                scale,
-            )
-            if self._notify(it, record):
-                break
+                # U_R trains on the same inputs inference feeds it,
+                # including the renormalize (post-selection) variant.
+                compressed = autoencoder.compression.compress(
+                    x_c, renormalize=autoencoder.renormalize
+                )
+                loss_r, gnorm_r = self._grad_step(
+                    autoencoder.ur, opt_r, compressed, r_target, None
+                )
+                record = self._record_iteration(
+                    history,
+                    it,
+                    autoencoder,
+                    encoded,
+                    x_ref,
+                    loss_c,
+                    loss_r,
+                    gnorm_c,
+                    gnorm_r,
+                    scale,
+                )
+                if self._notify(it, record):
+                    break
+        finally:
+            if batch_iter is not None:
+                batch_iter.close()
         history.wall_seconds = time.perf_counter() - wall0
         history.cpu_seconds = time.process_time() - cpu0
         for cb in self.callbacks:
@@ -432,6 +572,7 @@ class Trainer:
         full iteration budget, so lengths match the joint schedule).
         """
         history = TrainingHistory()
+        history.reserve(self.iterations)
         wall0, cpu0 = time.perf_counter(), time.process_time()
         a_in = encoded.amplitudes()
         x_ref = decode_batch(a_in, encoded.squared_norms)

@@ -159,6 +159,38 @@ class TestFitEvaluate:
         assert codec.dim == 8
         assert codec.spec.compressed_dim == 2
 
+    def test_fit_accepts_path_source(self, tmp_path):
+        X = _data(m=8)
+        path = tmp_path / "x.npy"
+        np.save(path, X)
+        from_path = Codec(CodecSpec(**SMALL)).fit(path)
+        from_array = Codec(CodecSpec(**SMALL)).fit(X)
+        assert np.array_equal(
+            from_path.autoencoder.uc.get_flat_params(),
+            from_array.autoencoder.uc.get_flat_params(),
+        )
+
+    def test_fit_accepts_dataset_source(self):
+        ds = paper_dataset(image_size=2, num_samples=6)
+        codec = Codec(CodecSpec(**SMALL)).fit(ds)
+        assert codec.is_fitted
+
+    def test_fit_accepts_stream_and_adopts_its_batch_size(self):
+        from repro.data.stream import MiniBatchStream
+
+        X = _data(m=8)
+        stream = MiniBatchStream(X, batch_size=3, seed=0)
+        via_stream = Codec(CodecSpec(**SMALL)).fit(stream)
+        via_array = Codec(
+            CodecSpec(**SMALL).with_(batch_size=3)
+        ).fit(X)
+        assert np.array_equal(
+            via_stream.autoencoder.uc.get_flat_params(),
+            via_array.autoencoder.uc.get_flat_params(),
+        )
+        # The codec's own spec stays as configured (frozen).
+        assert via_stream.spec.batch_size is None
+
     def test_fit_trains_ur_on_renormalized_inputs(self):
         """The renormalize flag must reach training, not just inference:
         U_R is optimised on the same (renormalized) states it serves."""

@@ -32,11 +32,21 @@ class TestValidation:
             {"backend": "quantum-annealer"},
             {"grad_engine": "vectorised"},
             {"gradient_method": "spsa"},
+            {"batch_size": 0},
+            {"parallel": "cluster"},
+            {"parallel": "pool:zero"},
+            {"parallel": "pool:0"},
         ],
     )
     def test_bad_knobs_rejected(self, kwargs):
         with pytest.raises(NetworkConfigError):
             CodecSpec(**kwargs)
+
+    def test_parallel_spec_normalised(self):
+        assert CodecSpec(parallel="POOL:3").parallel == "pool:3"
+        assert CodecSpec(parallel="none").parallel is None
+        assert CodecSpec().parallel is None
+        assert CodecSpec().batch_size is None
 
     def test_projection_length_must_match(self):
         with pytest.raises(NetworkConfigError):
@@ -67,6 +77,8 @@ class TestRoundTrip:
             renormalize=True,
             backend="fused",
             loss_mode="mean",
+            batch_size=4,
+            parallel="pool:2",
         )
         assert CodecSpec.from_dict(spec.to_dict()) == spec
 
@@ -119,11 +131,15 @@ class TestFactories:
             backend="fused",
             iterations=9,
             loss_mode="mean",
+            batch_size=8,
+            parallel="pool:2",
         ).build_trainer()
         assert trainer.iterations == 9
         assert trainer.gradient_method == "central"
         assert trainer.grad_engine == "looped"
         assert trainer.backend == "fused"
+        assert trainer.batch_size == 8
+        assert trainer.parallel == "pool:2"
 
 
 class TestPaperConfigDelegation:
@@ -136,6 +152,12 @@ class TestPaperConfigDelegation:
         assert spec.optimizer == "adam"
         assert spec.iterations == 42
         assert spec.seed == cfg.seed
+
+    def test_from_paper_config_parallel_and_batch(self):
+        cfg = PaperConfig(parallel="pool:2", batch_size=5)
+        spec = CodecSpec.from_paper_config(cfg)
+        assert spec.parallel == "pool:2"
+        assert spec.batch_size == 5
 
     def test_codec_spec_method(self):
         assert PaperConfig().codec_spec() == CodecSpec.from_paper_config(

@@ -1,0 +1,181 @@
+"""Tests for repro.data.stream — schedule determinism, prefetch, sources."""
+
+import numpy as np
+import pytest
+
+from repro.data.binary_images import paper_dataset
+from repro.data.stream import MiniBatch, MiniBatchStream, load_data_matrix
+from repro.exceptions import DatasetError
+from repro.io.results_io import save_results
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.normal(size=(10, 4))
+
+
+class TestConstruction:
+    def test_invalid_batch_size(self, matrix):
+        with pytest.raises(DatasetError):
+            MiniBatchStream(matrix, 0)
+
+    def test_invalid_axis(self, matrix):
+        with pytest.raises(DatasetError):
+            MiniBatchStream(matrix, 2, axis=2)
+
+    def test_invalid_prefetch(self, matrix):
+        with pytest.raises(DatasetError):
+            MiniBatchStream(matrix, 2, prefetch=-1)
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(DatasetError):
+            MiniBatchStream(np.empty((0, 4)), 2)
+        with pytest.raises(DatasetError):
+            MiniBatchStream((), 2)
+
+    def test_mismatched_sample_counts_rejected(self, rng):
+        with pytest.raises(DatasetError):
+            MiniBatchStream(
+                (rng.normal(size=(10, 4)), rng.normal(size=(9, 4))), 2
+            )
+
+    def test_axis_out_of_range_for_1d(self):
+        with pytest.raises(DatasetError):
+            MiniBatchStream(np.arange(6.0), 2, axis=1)
+
+    def test_dataset_source(self):
+        ds = paper_dataset()
+        stream = MiniBatchStream(ds, 5)
+        assert stream.num_samples == 25
+        assert np.array_equal(stream.materialize(), ds.matrix())
+
+
+class TestSchedule:
+    def test_batches_per_epoch_and_len(self, matrix):
+        assert MiniBatchStream(matrix, 4).batches_per_epoch == 3
+        assert len(MiniBatchStream(matrix, 5)) == 2
+        assert MiniBatchStream(matrix, 4, drop_last=True).batches_per_epoch == 2
+
+    def test_epoch_order_deterministic_per_epoch(self, matrix):
+        stream = MiniBatchStream(matrix, 4, seed=3)
+        assert np.array_equal(stream.epoch_order(0), stream.epoch_order(0))
+        assert not np.array_equal(stream.epoch_order(0), stream.epoch_order(1))
+        # Each epoch is a full permutation.
+        assert sorted(stream.epoch_order(1).tolist()) == list(range(10))
+
+    def test_shuffle_false_keeps_natural_order(self, matrix):
+        stream = MiniBatchStream(matrix, 4, shuffle=False)
+        assert np.array_equal(stream.epoch_order(5), np.arange(10))
+
+    def test_schedule_is_pure_function_of_arguments(self, matrix):
+        a = MiniBatchStream(matrix, 3, seed=9)
+        b = MiniBatchStream(matrix.copy(), 3, seed=9)
+        for epoch in range(3):
+            for x, y in zip(a.epoch_batches(epoch), b.epoch_batches(epoch)):
+                assert np.array_equal(x, y)
+
+    def test_drop_last_drops_ragged_tail(self, matrix):
+        batches = MiniBatchStream(matrix, 4, drop_last=True).epoch_batches(0)
+        assert [b.size for b in batches] == [4, 4]
+
+
+class TestIteration:
+    def test_gathered_arrays_match_indices(self, matrix):
+        stream = MiniBatchStream(matrix, 4, seed=1)
+        for mb in stream:
+            assert isinstance(mb, MiniBatch)
+            assert np.array_equal(mb.data, matrix[mb.indices])
+            assert mb.num_samples == mb.indices.size
+
+    def test_axis1_gathers_columns(self, rng):
+        data = rng.normal(size=(4, 10))
+        targets = rng.normal(size=(4, 10))
+        stream = MiniBatchStream((data, targets), 3, axis=1, seed=2)
+        for mb in stream.batches(5):
+            x, t = mb.arrays
+            assert np.array_equal(x, data[:, mb.indices])
+            assert np.array_equal(t, targets[:, mb.indices])
+
+    def test_prefetch_matches_synchronous(self, matrix):
+        eager = MiniBatchStream(matrix, 3, seed=4, prefetch=0)
+        threaded = MiniBatchStream(matrix, 3, seed=4, prefetch=3)
+        a = [(mb.epoch, mb.step, mb.indices.tolist()) for mb in
+             eager.batches(11)]
+        b = [(mb.epoch, mb.step, mb.indices.tolist()) for mb in
+             threaded.batches(11)]
+        assert a == b
+
+    def test_batches_cross_epochs_with_monotonic_step(self, matrix):
+        stream = MiniBatchStream(matrix, 4, seed=5)
+        batches = list(stream.batches(7))
+        assert [mb.step for mb in batches] == list(range(7))
+        assert [mb.epoch for mb in batches] == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_start_epoch_resumes_schedule(self, matrix):
+        stream = MiniBatchStream(matrix, 4, seed=6)
+        tail = list(stream.batches(3, start_epoch=1))
+        full = list(stream.batches(6))
+        for resumed, original in zip(tail, full[3:]):
+            assert np.array_equal(resumed.indices, original.indices)
+
+    def test_closing_generator_stops_prefetch_thread(self, matrix):
+        import threading
+
+        before = threading.active_count()
+        gen = MiniBatchStream(matrix, 2, prefetch=2).batches(100)
+        next(gen)
+        gen.close()
+        assert threading.active_count() == before
+
+    def test_producer_error_surfaces_in_consumer(self, matrix):
+        stream = MiniBatchStream(matrix, 4, prefetch=2)
+        stream.arrays = ("not an array",)  # corrupt post-validation
+        with pytest.raises(Exception):
+            list(stream.batches(2))
+
+
+class TestLoadDataMatrix:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_data_matrix(tmp_path / "nope.npy")
+
+    def test_npy_roundtrip_memmapped(self, tmp_path, rng):
+        data = rng.normal(size=(6, 3))
+        path = tmp_path / "x.npy"
+        np.save(path, data)
+        loaded = load_data_matrix(path)
+        assert isinstance(loaded, np.memmap)
+        assert np.array_equal(np.asarray(loaded), data)
+        stream = MiniBatchStream(path, 2, seed=0)
+        for mb in stream:
+            assert np.array_equal(mb.data, data[mb.indices])
+
+    def test_npz_x_entry(self, tmp_path, rng):
+        data = rng.normal(size=(4, 4))
+        path = tmp_path / "x.npz"
+        np.savez(path, X=data, other=np.ones(2))
+        assert np.array_equal(load_data_matrix(path), data)
+
+    def test_npz_single_entry(self, tmp_path, rng):
+        data = rng.normal(size=(4, 4))
+        path = tmp_path / "only.npz"
+        np.savez(path, data=data)
+        assert np.array_equal(load_data_matrix(path), data)
+
+    def test_npz_ambiguous_rejected(self, tmp_path, rng):
+        path = tmp_path / "bad.npz"
+        np.savez(path, a=np.ones(2), b=np.ones(2))
+        with pytest.raises(DatasetError):
+            load_data_matrix(path)
+
+    def test_results_json(self, tmp_path, rng):
+        data = rng.normal(size=(5, 4))
+        path = tmp_path / "x.json"
+        save_results({"X": data}, path)
+        assert np.allclose(load_data_matrix(path), data)
+
+    def test_results_json_without_x_rejected(self, tmp_path):
+        path = tmp_path / "nox.json"
+        save_results({"Y": np.ones((2, 2))}, path)
+        with pytest.raises(DatasetError):
+            load_data_matrix(path)

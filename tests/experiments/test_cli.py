@@ -28,6 +28,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig4", "--gradient", "magic"])
 
+    def test_train_parallel_spec_normalised(self):
+        args = build_parser().parse_args(
+            ["train", "--checkpoint", "m.npz", "--parallel", "POOL:2",
+             "--batch-size", "8"]
+        )
+        assert args.parallel == "pool:2"
+        assert args.batch_size == 8
+        none = build_parser().parse_args(
+            ["train", "--checkpoint", "m.npz", "--parallel", "none"]
+        )
+        assert none.parallel is None
+
+    def test_train_invalid_parallel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["train", "--checkpoint", "m.npz", "--parallel", "cluster"]
+            )
+
 
 class TestMain:
     def test_fig4_runs_and_prints(self, capsys):

@@ -11,7 +11,26 @@ import numpy as np
 import pytest
 
 from repro.exceptions import DimensionError, ExperimentError
-from repro.parallel.pool import WorkerPool, default_worker_count
+from repro.parallel.pool import (
+    WorkerPool,
+    default_worker_count,
+    worker_index,
+    worker_rng,
+)
+
+
+def _rng_probe(_):
+    """Worker-side probe: (stream index, first draws of the seeded RNG)."""
+    return worker_index(), worker_rng().random(3).tolist()
+
+
+def _probe_unseeded(_):
+    """In an unseeded pool the worker RNG must stay unset (raises on use)."""
+    try:
+        worker_rng()
+    except ExperimentError:
+        return worker_index() is None
+    return False
 
 
 class TestDefaults:
@@ -44,6 +63,18 @@ class TestDefaults:
         data = np.empty((5, 0))
         assert pool.scatter_gather(len, data) is data
         assert not pool.running
+
+    def test_empty_map_returns_without_spawning(self):
+        """``map([])`` answers ``[]`` directly — no workers for no work."""
+        pool = WorkerPool(processes=2)
+        assert pool.map(len, []) == []
+        assert pool.map(len, iter(())) == []
+        assert not pool.running
+
+    def test_parent_process_has_no_worker_rng(self):
+        assert worker_index() is None
+        with pytest.raises(ExperimentError):
+            worker_rng()
 
     def test_apply_dense_validates_shapes_before_spawn(self):
         pool = WorkerPool(processes=2)
@@ -147,6 +178,28 @@ class TestPoolLifecycle:
             assert pool.running
         assert not pool.running
         assert mp.active_children() == []
+
+    def test_seeded_worker_rng_streams(self):
+        """Each worker gets the SeedSequence(seed, spawn_key=(i,)) stream:
+        stream ``i`` depends only on ``(seed, i)``, not on spawn order or
+        task assignment.  The stream persists across tasks, so worker
+        ``i``'s successive probes are successive chunks of it."""
+        with WorkerPool(processes=2, seed=123) as pool:
+            probes = pool.map(_rng_probe, list(range(8)))
+        per_worker: dict = {}
+        for index, draws in probes:
+            per_worker.setdefault(index, []).extend(draws)
+        assert set(per_worker) <= {0, 1}
+        for index, draws in per_worker.items():
+            stream = np.random.default_rng(
+                np.random.SeedSequence(123, spawn_key=(index,))
+            )
+            assert draws == stream.random(len(draws)).tolist()
+
+    def test_unseeded_pool_leaves_worker_rng_unset(self):
+        with WorkerPool(processes=2) as pool:
+            probes = pool.map(_probe_unseeded, list(range(4)))
+        assert all(probes)
 
     def test_finalizer_shuts_down_on_gc(self):
         pool = WorkerPool(processes=2)

@@ -1,0 +1,182 @@
+"""Tests for Trainer(parallel=...) — multi-process training equivalence.
+
+The contract: ``parallel="pool:K"`` changes *where* gradients are
+computed, never *what* the training run records — history, callbacks and
+the final model must match single-process training at the same batch
+order (to the reduction's rounding floor).  Pool-spawning tests are
+marked ``slow``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.network.autoencoder import QuantumAutoencoder
+from repro.training.callbacks import Callback
+from repro.training.trainer import FloatSeries, Trainer
+
+DIM, D, LC, LR = 4, 2, 2, 2
+ITERS = 4
+
+
+class CountingCallback(Callback):
+    """Records every iteration index it sees (must be once each)."""
+
+    def __init__(self):
+        self.iterations = []
+        self.records = []
+        self.started = 0
+        self.ended = 0
+
+    def on_train_start(self, context):
+        self.started += 1
+
+    def on_iteration_end(self, iteration, record):
+        self.iterations.append(iteration)
+        self.records.append(dict(record))
+        return False
+
+    def on_train_end(self, context):
+        self.ended += 1
+
+
+def _autoencoder(seed=0):
+    return QuantumAutoencoder(DIM, D, LC, LR).initialize(
+        rng=np.random.default_rng(seed)
+    )
+
+
+def _data(rng_seed=3, m=6):
+    rng = np.random.default_rng(rng_seed)
+    return np.abs(rng.normal(size=(m, DIM))) + 0.1
+
+
+def _run(parallel, callbacks=(), batch_size=None, schedule="joint"):
+    trainer = Trainer(
+        iterations=ITERS,
+        gradient_method="adjoint",
+        schedule=schedule,
+        backend="fused",
+        batch_size=batch_size,
+        callbacks=callbacks,
+        parallel=parallel,
+    )
+    return trainer.train(_autoencoder(), _data())
+
+
+class TestParallelSpecOnTrainer:
+    def test_invalid_spec_raises_training_error(self):
+        with pytest.raises(TrainingError):
+            Trainer(parallel="cluster")
+
+    def test_none_spellings_disable(self):
+        assert Trainer(parallel="none").parallel is None
+        assert Trainer(parallel=None).parallel is None
+
+    def test_spec_normalised(self):
+        assert Trainer(parallel="pool:2").parallel == "pool:2"
+
+    def test_pool_one_trains_in_process(self):
+        """pool:1 resolves to no reducer at all — zero spawn overhead."""
+        single = _run(None)
+        pooled = _run("pool:1")
+        assert np.array_equal(
+            np.asarray(single.history.loss_r), np.asarray(pooled.history.loss_r)
+        )
+
+
+@pytest.mark.slow
+class TestDistributedEquivalence:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        """(single-process, pool:2) result pairs for both schedules."""
+        out = {}
+        for schedule in ("joint", "sequential"):
+            cb_s, cb_p = CountingCallback(), CountingCallback()
+            out[schedule] = (
+                _run(None, callbacks=(cb_s,), schedule=schedule),
+                _run("pool:2", callbacks=(cb_p,), schedule=schedule),
+                cb_s,
+                cb_p,
+            )
+        return out
+
+    @pytest.mark.parametrize("schedule", ["joint", "sequential"])
+    def test_history_matches_single_process(self, runs, schedule):
+        single, pooled, _, _ = runs[schedule]
+        a, b = single.history.as_arrays(), pooled.history.as_arrays()
+        for key in ("loss_c", "loss_r", "accuracy", "raw_accuracy",
+                    "grad_norm_c", "grad_norm_r", "retained_probability"):
+            np.testing.assert_allclose(a[key], b[key], atol=1e-9, rtol=1e-9)
+        np.testing.assert_allclose(
+            a["theta_c"], b["theta_c"], atol=1e-9
+        )
+        np.testing.assert_allclose(
+            single.final_x_hat, pooled.final_x_hat, atol=1e-9
+        )
+
+    @pytest.mark.parametrize("schedule", ["joint", "sequential"])
+    def test_callbacks_fire_once_per_iteration(self, runs, schedule):
+        """Sharding must not multiply callback invocations (one per
+        iteration, not one per shard or per worker)."""
+        _, _, cb_single, cb_pooled = runs[schedule]
+        assert cb_pooled.iterations == list(range(ITERS))
+        assert cb_pooled.iterations == cb_single.iterations
+        assert cb_pooled.started == cb_pooled.ended == 1
+        for rec_s, rec_p in zip(cb_single.records, cb_pooled.records):
+            assert rec_s.keys() == rec_p.keys()
+            for key in ("loss_c", "loss_r"):
+                assert rec_p[key] == pytest.approx(rec_s[key], abs=1e-9)
+
+    @pytest.mark.parametrize("schedule", ["joint", "sequential"])
+    def test_as_arrays_shapes_under_pool(self, runs, schedule):
+        _, pooled, _, _ = runs[schedule]
+        arrays = pooled.history.as_arrays()
+        assert arrays["loss_r"].shape == (ITERS,)
+        assert arrays["loss_r"].dtype == np.float64
+        assert arrays["theta_r"].shape[0] == ITERS
+        assert isinstance(pooled.history.loss_r, FloatSeries)
+
+    def test_minibatch_pool_matches_single_process(self):
+        """Same seeded MiniBatchStream schedule on both sides -> same run."""
+        single = _run(None, batch_size=3)
+        pooled = _run("pool:2", batch_size=3)
+        np.testing.assert_allclose(
+            np.asarray(single.history.loss_r),
+            np.asarray(pooled.history.loss_r),
+            atol=1e-9,
+        )
+
+    def test_reducer_cleared_after_train(self):
+        trainer = Trainer(
+            iterations=2, backend="fused", parallel="pool:2"
+        )
+        trainer.train(_autoencoder(), _data())
+        assert trainer._reducer is None
+
+
+class TestMiniBatchTraining:
+    def test_batched_run_deterministic(self):
+        a = _run(None, batch_size=3)
+        b = _run(None, batch_size=3)
+        assert np.asarray(a.history.loss_r).tolist() == (
+            np.asarray(b.history.loss_r).tolist()
+        )
+
+    def test_batch_seed_changes_schedule(self):
+        base = Trainer(
+            iterations=ITERS, backend="fused", batch_size=2, batch_seed=0
+        ).train(_autoencoder(), _data())
+        other = Trainer(
+            iterations=ITERS, backend="fused", batch_size=2, batch_seed=1
+        ).train(_autoencoder(), _data())
+        assert not np.array_equal(
+            np.asarray(base.history.loss_r), np.asarray(other.history.loss_r)
+        )
+
+    def test_full_batch_when_batch_size_covers_samples(self):
+        wide = _run(None, batch_size=100)
+        full = _run(None)
+        assert np.array_equal(
+            np.asarray(wide.history.loss_r), np.asarray(full.history.loss_r)
+        )
