@@ -217,17 +217,20 @@ class InferenceSession:
         """The session's request accumulator."""
         return self._batcher
 
-    def submit(self, x: np.ndarray):
+    def submit(self, x: np.ndarray, deadline: Optional[float] = None):
         """Enqueue one ``(N,)`` request; returns a ``Future`` of its
         reconstruction.
 
         Requests accumulate into ``(N, M)`` ticks (flushed at
         ``max_batch_size`` or after ``flush_latency`` seconds) so each
-        tick costs one GEMM regardless of arrival pattern.
+        tick costs one GEMM regardless of arrival pattern.  ``deadline``
+        (absolute ``time.monotonic()``) drops the request at drain time
+        if it expires while queued — see
+        :meth:`MicroBatcher.submit <repro.api.batcher.MicroBatcher.submit>`.
         """
         if self._closed:
             raise ServingError("inference session is closed")
-        return self._batcher.submit(x)
+        return self._batcher.submit(x, deadline=deadline)
 
     def flush(self) -> int:
         """Serve all pending requests now; returns how many were served."""

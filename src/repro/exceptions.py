@@ -26,6 +26,8 @@ __all__ = [
     "MeasurementError",
     "SerializationError",
     "ServingError",
+    "DeadlineExpired",
+    "ProtocolError",
     "ExperimentError",
     "BaselineError",
 ]
@@ -106,6 +108,19 @@ class SerializationError(ReproError, ValueError):
 class ServingError(ReproError, RuntimeError):
     """An inference session or micro-batcher was misused (closed, invalid
     request shape, or a request that cannot be amplitude-encoded)."""
+
+
+class DeadlineExpired(ServingError):
+    """A queued request's deadline passed before its tick was served.
+
+    Raised *through the request's future*, never at submit time: the
+    batcher drops expired work at drain time so it cannot waste a tick.
+    """
+
+
+class ProtocolError(ServingError):
+    """A serving wire frame is malformed (bad magic/version/dtype, an
+    oversized payload, or a truncated stream)."""
 
 
 class ExperimentError(ReproError, RuntimeError):

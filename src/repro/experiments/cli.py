@@ -20,6 +20,7 @@ through a checkpoint, and benchmark the serving path:
     python -m repro train --checkpoint model.npz --iterations 150
     python -m repro compress --checkpoint model.npz --output codes.json
     python -m repro decompress --checkpoint model.npz --codes codes.json
+    python -m repro serve --checkpoint model.npz --port 8077 --deadline-ms 50
     python -m repro serve-bench --checkpoint model.npz --requests 256
 
 Every run is deterministic given ``--seed`` (default 2024).  Unknown
@@ -247,6 +248,33 @@ def build_parser() -> argparse.ArgumentParser:
     pd.add_argument("--output", type=str, default=None,
                     help="write the reconstruction to this JSON file")
 
+    pv = sub.add_parser(
+        "serve",
+        help="run the asyncio network front-end over a compiled session",
+    )
+    pv.add_argument("--checkpoint", type=str, default=None,
+                    help="codec checkpoint; defaults to a seed-initialised "
+                         "paper-config codec")
+    pv.add_argument("--host", type=str, default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=8077,
+                    help="listening port (0 picks a free port)")
+    pv.add_argument("--seed", type=int, default=2024)
+    pv.add_argument("--max-inflight", type=int, default=256,
+                    help="admission bound; requests beyond it are shed "
+                         "with error 429")
+    pv.add_argument("--deadline-ms", type=int, default=0,
+                    help="default per-request deadline budget "
+                         "(0 = none; clients may send their own)")
+    pv.add_argument("--max-batch", type=int, default=64,
+                    help="micro-batcher tick-width cap")
+    pv.add_argument("--batch-window-ms", type=float, default=2.0,
+                    help="max time a queued request waits for tick-mates")
+    pv.add_argument("--duration", type=float, default=0.0,
+                    help="seconds to serve before draining "
+                         "(0 = until SIGINT/SIGTERM)")
+    pv.add_argument("--output", type=str, default=None,
+                    help="write the final stats JSON to this file")
+
     ps = sub.add_parser(
         "serve-bench",
         help="micro-benchmark the InferenceSession against eager forward",
@@ -261,7 +289,7 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the benchmark JSON to this file")
     # Checkpoint-consuming commands can override the archived execution
     # backend (e.g. run a 'loop'-trained model on 'sharded:4' workers).
-    for p in (pc, pd, ps):
+    for p in (pc, pd, ps, pv):
         p.add_argument(
             "--backend",
             type=_backend_spec,
@@ -405,6 +433,55 @@ def _run_decompress(args: argparse.Namespace) -> dict:
     return results
 
 
+def _run_serve(args: argparse.Namespace) -> dict:
+    import asyncio
+
+    from repro.api import Codec
+    from repro.serving.server import run_frontend
+
+    if args.checkpoint:
+        codec = Codec.load(args.checkpoint)
+    else:
+        codec = Codec(seed=args.seed)
+    pool = _apply_backend_override(codec, args.backend)
+    session = codec.session(
+        max_batch_size=args.max_batch, flush_latency=None, pool=pool
+    )
+
+    def _ready(frontend) -> None:
+        # The smoke scripts and operators wait for this exact line; keep
+        # it first and flushed.
+        print(f"listening on {frontend.host}:{frontend.port} "
+              f"(max_inflight={frontend.max_inflight}, "
+              f"deadline_ms={frontend.default_deadline_ms}, "
+              f"max_batch={args.max_batch})", flush=True)
+        print(f"serving {codec!r}; GET /healthz or /stats on the same "
+              f"port; Ctrl-C drains and exits", flush=True)
+
+    try:
+        stats = asyncio.run(run_frontend(
+            session,
+            duration=args.duration if args.duration > 0 else None,
+            ready_callback=_ready,
+            host=args.host,
+            port=args.port,
+            max_inflight=args.max_inflight,
+            default_deadline_ms=args.deadline_ms,
+            batch_window=args.batch_window_ms / 1000.0,
+        ))
+    except KeyboardInterrupt:  # pragma: no cover - signal path races
+        stats = {"server": {}, "batcher": {}}
+    finally:
+        session.close()
+        _close_backend(codec)
+    server = stats.get("server", {})
+    print(f"drained: served={server.get('served', 0)} "
+          f"shed={server.get('shed', 0)} "
+          f"expired={server.get('expired', 0)} "
+          f"connections={server.get('connections_total', 0)}")
+    return stats
+
+
 def _run_serve_bench(args: argparse.Namespace) -> dict:
     from repro.api import Codec
     from repro.api.benchmark import measure_serving, synthetic_requests
@@ -442,20 +519,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         code = exc.code
         return code if isinstance(code, int) else 0 if code is None else 2
 
-    if args.experiment in ("train", "compress", "decompress", "serve-bench"):
+    if args.experiment in ("train", "compress", "decompress", "serve",
+                           "serve-bench"):
         handler = {
             "train": _run_train,
             "compress": _run_compress,
             "decompress": _run_decompress,
+            "serve": _run_serve,
             "serve-bench": _run_serve_bench,
         }[args.experiment]
         try:
             payload = handler(args)
             # compress/decompress manage --output themselves (it IS
-            # their artefact); train/serve-bench archive their summary
-            # like the experiment commands do.
+            # their artefact); train/serve/serve-bench archive their
+            # summary like the experiment commands do.
             output = getattr(args, "output", None)
-            if output and args.experiment in ("train", "serve-bench"):
+            if output and args.experiment in ("train", "serve",
+                                              "serve-bench"):
                 save_results(payload, output)
                 print(f"\nresults written to {output}")
         except (ReproError, FileNotFoundError) as exc:

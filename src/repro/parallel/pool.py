@@ -28,6 +28,8 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
+import time
 import weakref
 from multiprocessing import get_context, shared_memory
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
@@ -277,6 +279,12 @@ class WorkerPool:
         self._state: dict = {"pool": None, "segments": {}}
         self._operator_names: Dict[Tuple, str] = {}
         self._finalizer = weakref.finalize(self, _shutdown, self._state)
+        # In-flight task accounting for graceful drain: map() calls may
+        # arrive from several threads (a serving executor plus the
+        # training loop), and a shutdown wants to wait them out instead
+        # of yanking workers mid-GEMM.
+        self._inflight = 0
+        self._idle = threading.Condition()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -356,7 +364,42 @@ class WorkerPool:
         if not payloads:
             return []
         self.start()
-        return self._state["pool"].map(fn, payloads, chunksize=1)
+        with self._idle:
+            self._inflight += 1
+        try:
+            return self._state["pool"].map(fn, payloads, chunksize=1)
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                if self._inflight == 0:
+                    self._idle.notify_all()
+
+    @property
+    def inflight(self) -> int:
+        """Concurrent :meth:`map` calls currently executing."""
+        with self._idle:
+            return self._inflight
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until no :meth:`map` call is in flight (graceful drain).
+
+        The shutdown hook for serving front-ends: lets every scattered
+        tick finish before :meth:`close` reaps the workers, so an
+        in-flight batch is never lost to a deploy.  Returns ``True``
+        when the pool went idle within ``timeout`` seconds (``None`` =
+        wait forever); the pool stays usable either way.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._inflight:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
 
     # ------------------------------------------------------------------
     # shared-memory block transfer

@@ -1,0 +1,301 @@
+"""Clients for the serving front-end: blocking and asyncio flavours.
+
+:class:`ServingClient` is the simple blocking surface (one outstanding
+request at a time over one socket) used by tests, the docs and ad-hoc
+operator checks.  :class:`AsyncServingClient` pipelines many requests
+over one connection — the shape the open-loop load generator
+(``tools/loadgen.py``) and the concurrency tests drive.
+
+Server error frames surface as typed exceptions, so callers can treat
+overload distinctly from bad input:
+
+=====================  ===================================================
+error code             raised exception
+=====================  ===================================================
+429 (shed)             :class:`RequestShed`
+408 (deadline)         :class:`~repro.exceptions.DeadlineExpired`
+503 (draining)         :class:`ServerClosing`
+400 (bad request)      :class:`~repro.exceptions.ServingError`
+500 (internal)         :class:`ServerError`
+=====================  ===================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.api.codec import CompressedBatch
+from repro.exceptions import DeadlineExpired, ProtocolError, ServingError
+from repro.serving import protocol
+from repro.serving.protocol import ErrorCode, Frame, FrameType
+
+__all__ = [
+    "ServingClient",
+    "AsyncServingClient",
+    "RequestShed",
+    "ServerClosing",
+    "ServerError",
+    "raise_for_error",
+    "fetch_json",
+]
+
+
+class RequestShed(ServingError):
+    """The server's admission queue was full (error code 429)."""
+
+
+class ServerClosing(ServingError):
+    """The server is draining and refused the request (error code 503)."""
+
+
+class ServerError(ServingError):
+    """The server failed internally while serving the tick (code 500)."""
+
+
+_ERROR_CLASSES = {
+    ErrorCode.SHED: RequestShed,
+    ErrorCode.DEADLINE: DeadlineExpired,
+    ErrorCode.CLOSING: ServerClosing,
+    ErrorCode.BAD_REQUEST: ServingError,
+    ErrorCode.INTERNAL: ServerError,
+}
+
+
+def raise_for_error(frame: Frame) -> Frame:
+    """Raise the typed exception an ``ERROR`` frame maps to; pass
+    anything else through unchanged."""
+    if frame.type != FrameType.ERROR:
+        return frame
+    code, message = frame.error()
+    exc_class = _ERROR_CLASSES.get(code, ServingError)
+    name = ErrorCode.NAMES.get(code, str(code))
+    raise exc_class(f"[{name}] {message}")
+
+
+# ----------------------------------------------------------------------
+# blocking client
+# ----------------------------------------------------------------------
+class ServingClient:
+    """Blocking request/response client (one in flight at a time).
+
+    Usable as a context manager; ``req_id`` correlation is handled
+    internally.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 30.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 1
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _roundtrip(
+        self, ftype: int, arrays: List[np.ndarray], deadline_ms: int
+    ) -> List[np.ndarray]:
+        req_id = self._next_id
+        self._next_id += 1
+        frame = Frame(
+            type=ftype,
+            req_id=req_id,
+            payload=protocol.encode_arrays(arrays) if arrays else b"",
+            deadline_ms=int(deadline_ms),
+        )
+        self._sock.sendall(protocol.encode_frame(frame))
+        reply = protocol.read_frame(self._file)
+        if reply is None:
+            raise ProtocolError("server closed the connection mid-request")
+        if reply.req_id != req_id:
+            raise ProtocolError(
+                f"response correlates to request {reply.req_id}, "
+                f"expected {req_id}"
+            )
+        return raise_for_error(reply).arrays()
+
+    def ping(self) -> bool:
+        """Round-trip an empty frame; ``True`` when the server answers."""
+        req_id = self._next_id
+        self._next_id += 1
+        self._sock.sendall(protocol.encode_frame(
+            Frame(type=FrameType.PING, req_id=req_id)
+        ))
+        reply = protocol.read_frame(self._file)
+        return reply is not None and reply.type == FrameType.PONG
+
+    def reconstruct(
+        self, x: np.ndarray, deadline_ms: int = 0
+    ) -> np.ndarray:
+        """Round-trip one sample (1-D) or batch (2-D) reconstruction."""
+        arr = np.asarray(x, dtype=np.float64)
+        (out,) = self._roundtrip(FrameType.RECONSTRUCT, [arr], deadline_ms)
+        return out
+
+    def compress(
+        self, X: np.ndarray, deadline_ms: int = 0
+    ) -> CompressedBatch:
+        """Compress ``(M, N)`` data server-side into its wire payload."""
+        arr = np.asarray(X, dtype=np.float64)
+        codes, norms = self._roundtrip(FrameType.COMPRESS, [arr],
+                                       deadline_ms)
+        return CompressedBatch(codes=codes, squared_norms=norms)
+
+    def decompress(
+        self, payload: CompressedBatch, deadline_ms: int = 0
+    ) -> np.ndarray:
+        """Reconstruct classical data from a compressed payload."""
+        (out,) = self._roundtrip(
+            FrameType.DECOMPRESS,
+            [payload.codes, payload.squared_norms],
+            deadline_ms,
+        )
+        return out
+
+
+# ----------------------------------------------------------------------
+# asyncio client (pipelined)
+# ----------------------------------------------------------------------
+class AsyncServingClient:
+    """Pipelined asyncio client: many requests in flight per connection.
+
+    A background reader task correlates response frames to the pending
+    request by ``req_id``; each ``submit_*`` returns an awaitable
+    resolving to the decoded arrays (or raising the mapped error).
+    """
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+        self._next_id = 1
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "AsyncServingClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port
+        )
+        client._reader_task = asyncio.ensure_future(client._read_loop())
+        return client
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._fail_all(ProtocolError("client closed"))
+
+    def _fail_all(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame_async(self._reader)
+                if frame is None:
+                    break
+                future = self._pending.pop(frame.req_id, None)
+                if future is None or future.done():
+                    continue  # stale/unknown correlation id
+                try:
+                    future.set_result(raise_for_error(frame).arrays())
+                except Exception as exc:  # noqa: BLE001 - typed errors
+                    future.set_exception(exc)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - fail pending on teardown
+            self._fail_all(exc)
+        else:
+            self._fail_all(ProtocolError("server closed the connection"))
+
+    async def _submit(
+        self, ftype: int, arrays: List[np.ndarray], deadline_ms: int
+    ) -> "asyncio.Future":
+        req_id = self._next_id
+        self._next_id += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[req_id] = future
+        frame = Frame(
+            type=ftype,
+            req_id=req_id,
+            payload=protocol.encode_arrays(arrays) if arrays else b"",
+            deadline_ms=int(deadline_ms),
+        )
+        self._writer.write(protocol.encode_frame(frame))
+        await self._writer.drain()
+        return future
+
+    async def submit_reconstruct(
+        self, x: np.ndarray, deadline_ms: int = 0
+    ) -> "asyncio.Future":
+        """Enqueue one reconstruction; returns its awaitable future."""
+        return await self._submit(
+            FrameType.RECONSTRUCT,
+            [np.asarray(x, dtype=np.float64)],
+            deadline_ms,
+        )
+
+    async def reconstruct(
+        self, x: np.ndarray, deadline_ms: int = 0
+    ) -> np.ndarray:
+        (out,) = await (await self.submit_reconstruct(x, deadline_ms))
+        return out
+
+
+# ----------------------------------------------------------------------
+# HTTP stats fetch (stdlib only; shares the serving port)
+# ----------------------------------------------------------------------
+def fetch_json(
+    host: str, port: int, path: str = "/stats", timeout: float = 5.0
+) -> dict:
+    """GET ``path`` from the front-end's HTTP dialect; returns the JSON.
+
+    Works against the same port the binary protocol uses — the server
+    sniffs the method bytes.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        request = (
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        sock.sendall(request.encode("latin-1"))
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    raw = b"".join(chunks)
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    if " 200 " not in f"{status_line} ":
+        raise ServingError(f"HTTP request failed: {status_line!r}")
+    return json.loads(body.decode("utf-8"))

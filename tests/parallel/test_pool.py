@@ -212,3 +212,48 @@ class TestPoolLifecycle:
         assert state["pool"] is None
         assert state["segments"] == {}
         assert mp.active_children() == []
+
+
+def _sleepy(seconds):
+    import time as _time
+
+    _time.sleep(seconds)
+    return seconds
+
+
+class TestDrainHook:
+    def test_fresh_pool_is_idle(self):
+        pool = WorkerPool(processes=2)
+        assert pool.inflight == 0
+        assert pool.drain(timeout=0.01) is True
+        assert not pool.running  # drain alone never spawns workers
+
+
+@pytest.mark.slow
+class TestDrainUnderLoad:
+    def test_drain_waits_for_inflight_map(self):
+        """The serving front-end's shutdown hook: drain() times out
+        while a map is in flight, succeeds once it lands, and the pool
+        stays usable afterwards."""
+        import threading
+        import time
+
+        with WorkerPool(processes=2) as pool:
+            pool.map(len, [[1]])  # spawn workers up front
+            done = []
+
+            def run():
+                done.append(pool.map(_sleepy, [0.4]))
+
+            thread = threading.Thread(target=run)
+            thread.start()
+            deadline = time.monotonic() + 5.0
+            while pool.inflight == 0 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert pool.inflight == 1
+            assert pool.drain(timeout=0.05) is False  # map still running
+            assert pool.drain(timeout=10.0) is True
+            thread.join(timeout=10.0)
+            assert done == [[0.4]]
+            assert pool.inflight == 0
+            assert pool.map(len, [[1, 2]]) == [2]  # still serviceable

@@ -1,0 +1,212 @@
+"""Open-loop many-client load generator for the serving front-end.
+
+Drives ``N`` concurrent connections against a ``repro serve`` instance,
+each sending single-sample reconstruct requests on a fixed wall-clock
+schedule — *open loop*: the send times are decided up front from the
+target rate, not by waiting for responses, so an overloaded server sees
+the true arrival process instead of a self-throttling client (the
+coordinated-omission trap).  Reports p50/p99 latency, achieved
+throughput and the shed/deadline/error split, as JSON if asked.
+
+Usage::
+
+    PYTHONPATH=src python tools/loadgen.py --port 8077 \
+        --clients 8 --rate 1000 --duration 5 --deadline-ms 50 \
+        --json load.json
+
+``--rate`` is the *total* offered request rate (spread evenly over the
+clients).  ``--dim`` must match the served model (default: the paper's
+16); the generator pre-builds a deterministic request pool so the hot
+loop does no RNG work.
+
+The module is importable (``run_load``) — ``benchmarks/bench_frontend.py``
+reuses it so the CI gate and the operator tool measure identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import DeadlineExpired, ServingError
+from repro.serving.client import (
+    AsyncServingClient,
+    RequestShed,
+    ServerClosing,
+    ServerError,
+)
+
+
+@dataclass
+class LoadResult:
+    """Aggregated outcome of one load run."""
+
+    offered: int = 0
+    ok: int = 0
+    shed: int = 0
+    expired: int = 0
+    closing: int = 0
+    errors: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    def summary(self) -> Dict:
+        lat = np.sort(np.asarray(self.latencies_s, dtype=np.float64))
+
+        def pct(q: float) -> float:
+            if lat.size == 0:
+                return 0.0
+            return float(lat[min(lat.size - 1, int(q * lat.size))])
+
+        answered = self.ok + self.shed + self.expired + self.closing
+        return {
+            "offered_requests": self.offered,
+            "ok": self.ok,
+            "shed": self.shed,
+            "deadline_expired": self.expired,
+            "closing": self.closing,
+            "errors": self.errors,
+            "shed_rate": self.shed / max(1, answered),
+            "wall_s": self.wall_s,
+            "achieved_req_per_s": self.ok / self.wall_s if self.wall_s
+            else 0.0,
+            "offered_req_per_s": self.offered / self.wall_s if self.wall_s
+            else 0.0,
+            "latency_p50_s": pct(0.50),
+            "latency_p99_s": pct(0.99),
+            "latency_max_s": float(lat[-1]) if lat.size else 0.0,
+        }
+
+
+async def _client_task(
+    host: str,
+    port: int,
+    requests: np.ndarray,
+    send_times: List[float],
+    deadline_ms: int,
+    start_at: float,
+    result: LoadResult,
+) -> None:
+    """One open-loop client: send on schedule, await replies concurrently."""
+    client = await AsyncServingClient.connect(host, port)
+    inflight: List[asyncio.Task] = []
+
+    async def _await_reply(future: "asyncio.Future", sent_at: float) -> None:
+        try:
+            await future
+        except RequestShed:
+            result.shed += 1
+        except DeadlineExpired:
+            result.expired += 1
+        except ServerClosing:
+            result.closing += 1
+        except (ServerError, ServingError, ConnectionError, OSError):
+            result.errors += 1
+        else:
+            result.ok += 1
+            result.latencies_s.append(time.monotonic() - sent_at)
+
+    try:
+        pool_size = requests.shape[0]
+        for i, offset in enumerate(send_times):
+            delay = (start_at + offset) - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            result.offered += 1
+            sent_at = time.monotonic()
+            try:
+                future = await client.submit_reconstruct(
+                    requests[i % pool_size], deadline_ms=deadline_ms
+                )
+            except (ConnectionError, OSError):
+                result.errors += 1
+                continue
+            task = asyncio.ensure_future(_await_reply(future, sent_at))
+            inflight.append(task)
+        if inflight:
+            await asyncio.gather(*inflight)
+    finally:
+        await client.close()
+
+
+async def run_load(
+    host: str,
+    port: int,
+    clients: int,
+    rate: float,
+    duration: float,
+    deadline_ms: int = 0,
+    dim: int = 16,
+    seed: int = 7,
+) -> Dict:
+    """Run one open-loop load phase; returns the summary dict."""
+    if clients < 1 or rate <= 0 or duration <= 0:
+        raise ValueError("need clients >= 1, rate > 0, duration > 0")
+    rng = np.random.default_rng(seed)
+    pool = np.abs(rng.normal(size=(256, dim))) + 0.05
+    per_client = rate / clients
+    total = max(1, int(round(per_client * duration)))
+    result = LoadResult()
+    start_at = time.monotonic() + 0.05  # common epoch across clients
+    tasks = []
+    for c in range(clients):
+        # Interleave client schedules so the aggregate is a steady
+        # `rate`-per-second stream, not `clients` synchronised pulses.
+        offsets = [(i + c / clients) / per_client for i in range(total)]
+        tasks.append(_client_task(
+            host, port, pool, offsets, deadline_ms, start_at, result,
+        ))
+    t0 = time.monotonic()
+    await asyncio.gather(*tasks)
+    result.wall_s = time.monotonic() - t0
+    return result.summary()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent connections")
+    parser.add_argument("--rate", type=float, default=500.0,
+                        help="total offered request rate (req/s)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds of offered load")
+    parser.add_argument("--deadline-ms", type=int, default=0,
+                        help="per-request deadline budget (0 = none)")
+    parser.add_argument("--dim", type=int, default=16,
+                        help="request vector length (must match the model)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", type=str, default=None,
+                        help="write the summary JSON to this file")
+    args = parser.parse_args(argv)
+
+    summary = asyncio.run(run_load(
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        rate=args.rate,
+        duration=args.duration,
+        deadline_ms=args.deadline_ms,
+        dim=args.dim,
+        seed=args.seed,
+    ))
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"summary written to {args.json}", file=sys.stderr)
+    # The generator reports; gating (if any) belongs to the caller.
+    return 0 if summary["errors"] == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
