@@ -25,7 +25,12 @@ experiment harness that regenerates each figure and table:
 - :mod:`repro.io` — model/result/image serialisation;
 - :mod:`repro.api` — the unified public surface: :class:`Codec`
   (fit/compress/decompress/save/load) and :class:`InferenceSession`
-  (precompiled micro-batched serving).
+  (precompiled micro-batched serving);
+- :mod:`repro.imaging` — the tiled real-image pipeline:
+  :func:`compress_image` / :func:`decompress_image` move arbitrary-size
+  grayscale images through tile-DCT + quantization + the codec into the
+  entropy-coded :class:`CompressedImage` wire format v2 (see
+  ``docs/imaging.md``).
 
 Quickstart
 ----------
@@ -46,6 +51,7 @@ from repro.api import (
     MicroBatcher,
 )
 from repro.encoding import AmplitudeCodec, encode_batch, decode_batch
+from repro.imaging import CompressedImage, compress_image, decompress_image
 from repro.network import (
     GateLayer,
     Projection,
@@ -77,6 +83,9 @@ __all__ = [
     "AmplitudeCodec",
     "encode_batch",
     "decode_batch",
+    "CompressedImage",
+    "compress_image",
+    "decompress_image",
     "GateLayer",
     "Projection",
     "QuantumAutoencoder",

@@ -306,6 +306,40 @@ class Codec:
         }
 
     # ------------------------------------------------------------------
+    # imaging front-end (repro.imaging, wire format v2)
+    # ------------------------------------------------------------------
+    def compress_image(self, image: np.ndarray, **overrides):
+        """Compress an arbitrary-size ``[0, 1]`` grayscale image.
+
+        Delegates to :func:`repro.imaging.compress_image` with this
+        spec's tile/transform/quantization knobs (``tile_size``,
+        ``tile_transform``, ``tile_quality``, ``tile_pad``,
+        ``code_bits``) as defaults; keyword ``overrides`` win.  Returns
+        a :class:`~repro.imaging.container.CompressedImage`.
+        """
+        from repro.imaging import compress_image
+
+        return compress_image(image, self, **self._imaging_kwargs(overrides))
+
+    def decompress_image(self, compressed) -> np.ndarray:
+        """Reconstruct an image from a wire-format-v2 container."""
+        from repro.imaging import decompress_image
+
+        return decompress_image(compressed, self)
+
+    def _imaging_kwargs(self, overrides: dict) -> dict:
+        spec = self.spec
+        kwargs = {
+            "tile_size": spec.tile_size,
+            "transform": spec.tile_transform,
+            "quality": spec.tile_quality,
+            "pad_mode": spec.tile_pad,
+            "code_bits": spec.code_bits,
+        }
+        kwargs.update(overrides)
+        return kwargs
+
+    # ------------------------------------------------------------------
     # persistence — the repro.io npz container, spec riding in the header
     # ------------------------------------------------------------------
     def save(self, path: PathLike) -> Path:

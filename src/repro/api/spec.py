@@ -80,6 +80,19 @@ class CodecSpec:
     #: ``"pool"`` or ``"pool:K"`` — see ``Trainer(parallel=...)``.
     parallel: Optional[str] = None
 
+    # -- imaging front-end (repro.imaging, wire format v2) --------------
+    #: Tile side ``T`` of the image pipeline; ``None`` means
+    #: ``sqrt(dim)`` (the codec eats one ``T^2``-vector per tile).
+    tile_size: Optional[int] = None
+    #: Per-tile transform: ``"dct"`` (zig-zag ordered) or ``"pixel"``.
+    tile_transform: str = "dct"
+    #: JPEG-style quality knob (1-100) for the coefficient quantizer.
+    tile_quality: int = 75
+    #: Tile padding for non-multiple image dims: ``"edge"`` or ``"zero"``.
+    tile_pad: str = "edge"
+    #: Signed bits per quantized code amplitude on the image wire.
+    code_bits: int = 8
+
     def __post_init__(self) -> None:
         if self.compressed_dim >= self.dim:
             raise NetworkConfigError(
@@ -113,6 +126,40 @@ class CodecSpec:
             "parallel",
             validate_parallel_spec(self.parallel, NetworkConfigError),
         )
+        # Imaging front-end knobs (validated here so a spec embedded in a
+        # checkpoint can never describe an unusable image pipeline).
+        from repro.imaging.tiler import PAD_MODES
+        from repro.imaging.transform import TRANSFORMS
+
+        if self.tile_size is not None:
+            tile = int(self.tile_size)
+            if tile < 1:
+                raise NetworkConfigError(
+                    f"tile_size must be >= 1 or None, got {self.tile_size}"
+                )
+            if tile * tile != self.dim:
+                raise NetworkConfigError(
+                    f"tile_size^2 = {tile * tile} must equal dim="
+                    f"{self.dim} (one tile vector per codec input)"
+                )
+            object.__setattr__(self, "tile_size", tile)
+        if self.tile_transform not in TRANSFORMS:
+            raise NetworkConfigError(
+                f"tile_transform must be one of {TRANSFORMS}, got "
+                f"{self.tile_transform!r}"
+            )
+        if not 1 <= self.tile_quality <= 100:
+            raise NetworkConfigError(
+                f"tile_quality must be in [1, 100], got {self.tile_quality}"
+            )
+        if self.tile_pad not in PAD_MODES:
+            raise NetworkConfigError(
+                f"tile_pad must be one of {PAD_MODES}, got {self.tile_pad!r}"
+            )
+        if not 2 <= self.code_bits <= 16:
+            raise NetworkConfigError(
+                f"code_bits must be in [2, 16], got {self.code_bits}"
+            )
         if self.projection is not None:
             object.__setattr__(
                 self, "projection", tuple(int(k) for k in self.projection)

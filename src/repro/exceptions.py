@@ -30,6 +30,7 @@ __all__ = [
     "ProtocolError",
     "ExperimentError",
     "BaselineError",
+    "ImagingError",
 ]
 
 
@@ -129,3 +130,8 @@ class ExperimentError(ReproError, RuntimeError):
 
 class BaselineError(ReproError, ValueError):
     """A classical baseline (CSC/OMP/PCA) received invalid arguments."""
+
+
+class ImagingError(ReproError, ValueError):
+    """The tiled image pipeline (``repro.imaging``) received invalid
+    arguments or a malformed ``CompressedImage`` byte stream."""

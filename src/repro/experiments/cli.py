@@ -23,6 +23,18 @@ through a checkpoint, and benchmark the serving path:
     python -m repro serve --checkpoint model.npz --port 8077 --deadline-ms 50
     python -m repro serve-bench --checkpoint model.npz --requests 256
 
+**Imaging front-end** — move arbitrary-size PGM grayscale images
+through the tiled pipeline (wire format v2; ``--checkpoint`` selects
+per-tile quantum compression, omitting it the classical transform
+coder):
+
+.. code-block:: console
+
+    python -m repro compress-image --input lena.pgm --output lena.rimg \\
+        --checkpoint model.npz --quality 60
+    python -m repro decompress-image --input lena.rimg --output out.pgm \\
+        --checkpoint model.npz --reference lena.pgm
+
 Every run is deterministic given ``--seed`` (default 2024).  Unknown
 commands exit with status 2 and the usage string; ``--version`` prints
 the package version.
@@ -287,9 +299,56 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=2024)
     ps.add_argument("--output", type=str, default=None,
                     help="write the benchmark JSON to this file")
+    # -- imaging front-end ----------------------------------------------
+    from repro.imaging.tiler import PAD_MODES
+    from repro.imaging.transform import TRANSFORMS
+
+    pci = sub.add_parser(
+        "compress-image",
+        help="compress a PGM image into a wire-format-v2 container",
+    )
+    pci.add_argument("--input", type=str, required=True,
+                     help="grayscale PGM (ASCII P2 or raw P5) image")
+    pci.add_argument("--output", type=str, required=True,
+                     help="write the compressed container to this file")
+    pci.add_argument("--checkpoint", type=str, default=None,
+                     help=(
+                         "codec checkpoint for per-tile quantum "
+                         "compression; omit for the classical "
+                         "transform coder"
+                     ))
+    pci.add_argument("--tile-size", type=int, default=None,
+                     help="tile side T; default sqrt(codec dim), or 4 "
+                          "without a checkpoint")
+    pci.add_argument("--transform", choices=TRANSFORMS, default="dct")
+    pci.add_argument("--quality", type=int, default=75,
+                     help="JPEG-style quality knob, 1-100")
+    pci.add_argument("--pad", choices=PAD_MODES, default="edge",
+                     help="padding for non-tile-multiple image dims")
+    pci.add_argument("--code-bits", type=int, default=8,
+                     help="signed bits per quantized code amplitude "
+                          "(quantum mode)")
+
+    pdi = sub.add_parser(
+        "decompress-image",
+        help="reconstruct a PGM image from a wire-format-v2 container",
+    )
+    pdi.add_argument("--input", type=str, required=True,
+                     help="container file written by 'compress-image'")
+    pdi.add_argument("--output", type=str, required=True,
+                     help="write the reconstructed PGM here")
+    pdi.add_argument("--checkpoint", type=str, default=None,
+                     help="codec checkpoint (required for quantum-mode "
+                          "containers)")
+    pdi.add_argument("--reference", type=str, default=None,
+                     help="original PGM; prints reconstruction PSNR "
+                          "against it")
+    pdi.add_argument("--binary", action="store_true",
+                     help="write raw P5 instead of ASCII P2")
+
     # Checkpoint-consuming commands can override the archived execution
     # backend (e.g. run a 'loop'-trained model on 'sharded:4' workers).
-    for p in (pc, pd, ps, pv):
+    for p in (pc, pd, ps, pv, pci, pdi):
         p.add_argument(
             "--backend",
             type=_backend_spec,
@@ -433,6 +492,93 @@ def _run_decompress(args: argparse.Namespace) -> dict:
     return results
 
 
+def _load_image_codec(args: argparse.Namespace):
+    """The optional quantum half of an imaging command."""
+    if not args.checkpoint:
+        return None
+    from repro.api import Codec
+
+    codec = Codec.load(args.checkpoint)
+    _apply_backend_override(codec, args.backend)
+    return codec
+
+
+def _run_compress_image(args: argparse.Namespace) -> dict:
+    from pathlib import Path
+
+    from repro.imaging import compress_image
+    from repro.io.image_io import read_pgm
+
+    image = read_pgm(args.input)
+    codec = _load_image_codec(args)
+    blob = compress_image(
+        image,
+        codec,
+        tile_size=args.tile_size,
+        transform=args.transform,
+        quality=args.quality,
+        pad_mode=args.pad,
+        code_bits=args.code_bits,
+    )
+    encoded = blob.to_bytes()
+    Path(args.output).write_bytes(encoded)
+    g = blob.grid
+    print(f"compressed {g.height}x{g.width} image into "
+          f"{g.rows}x{g.cols} tiles of {g.tile_size}x{g.tile_size} "
+          f"({blob.mode} mode, {args.transform} transform, "
+          f"quality {args.quality})")
+    print(f"{len(encoded)} bytes = {blob.bits_per_pixel():.3f} bpp "
+          f"(raw 8-bit: {g.num_pixels} bytes)")
+    print(f"container written to {args.output}")
+    if codec is not None:
+        _close_backend(codec)
+    return {
+        "height": g.height,
+        "width": g.width,
+        "mode": blob.mode,
+        "num_tiles": g.num_tiles,
+        "num_bytes": len(encoded),
+        "bits_per_pixel": blob.bits_per_pixel(),
+    }
+
+
+def _run_decompress_image(args: argparse.Namespace) -> dict:
+    from pathlib import Path
+
+    from repro.exceptions import ImagingError
+    from repro.imaging import CompressedImage, decompress_image
+    from repro.io.image_io import read_pgm, write_pgm
+
+    blob = CompressedImage.from_bytes(Path(args.input).read_bytes())
+    codec = _load_image_codec(args)
+    image = decompress_image(blob, codec)
+    write_pgm(image, args.output, binary=args.binary)
+    h, w = image.shape
+    print(f"decompressed {h}x{w} image ({blob.mode} mode, "
+          f"{blob.bits_per_pixel():.3f} bpp)")
+    print(f"image written to {args.output}")
+    results = {
+        "height": h,
+        "width": w,
+        "mode": blob.mode,
+        "bits_per_pixel": blob.bits_per_pixel(),
+    }
+    if args.reference:
+        from repro.training.metrics import psnr
+
+        reference = read_pgm(args.reference)
+        if reference.shape != image.shape:
+            raise ImagingError(
+                f"reference image is {reference.shape}, reconstruction "
+                f"is {image.shape}"
+            )
+        results["psnr_db"] = float(psnr(image, reference))
+        print(f"PSNR vs {args.reference}: {results['psnr_db']:.2f} dB")
+    if codec is not None:
+        _close_backend(codec)
+    return results
+
+
 def _run_serve(args: argparse.Namespace) -> dict:
     import asyncio
 
@@ -520,13 +666,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return code if isinstance(code, int) else 0 if code is None else 2
 
     if args.experiment in ("train", "compress", "decompress", "serve",
-                           "serve-bench"):
+                           "serve-bench", "compress-image",
+                           "decompress-image"):
         handler = {
             "train": _run_train,
             "compress": _run_compress,
             "decompress": _run_decompress,
             "serve": _run_serve,
             "serve-bench": _run_serve_bench,
+            "compress-image": _run_compress_image,
+            "decompress-image": _run_decompress_image,
         }[args.experiment]
         try:
             payload = handler(args)

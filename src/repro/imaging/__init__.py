@@ -1,0 +1,46 @@
+"""Tiled real-image pipeline: arbitrary-size grayscale in, wire bytes out.
+
+The codec core (:mod:`repro.api`) compresses fixed-size vectors; this
+subsystem is the transform front-end that turns *images* into those
+vectors and back — the JPEG recipe over the quantum network:
+
+- :mod:`~repro.imaging.tiler` — pad-and-split into fixed ``T x T``
+  tiles (:class:`TileGrid`);
+- :mod:`~repro.imaging.transform` — per-tile DCT with zig-zag
+  coefficient ordering, or raw pixels (:class:`TileTransform`);
+- :mod:`~repro.imaging.quantize` — JPEG-style step tables, the rate
+  knob (:class:`QuantizationTable`);
+- :mod:`~repro.imaging.entropy` — static-model byte rANS, bit-exact;
+- :mod:`~repro.imaging.container` — :class:`CompressedImage`, the
+  entropy-coded wire format v2 with measured bits-per-pixel;
+- :mod:`~repro.imaging.pipeline` — :func:`compress_image` /
+  :func:`decompress_image`, fanning tiles across a pool-attached
+  :class:`~repro.api.session.InferenceSession` when one is supplied.
+
+See ``docs/imaging.md`` for the walkthrough and the wire-format layout.
+"""
+
+from repro.imaging.container import CompressedImage
+from repro.imaging.pipeline import (
+    TilePrep,
+    compress_image,
+    decompress_image,
+    tile_magnitudes,
+)
+from repro.imaging.quantize import QuantizationTable, uniform_code_step
+from repro.imaging.tiler import TileGrid, assemble_tiles, split_tiles
+from repro.imaging.transform import TileTransform
+
+__all__ = [
+    "CompressedImage",
+    "QuantizationTable",
+    "TileGrid",
+    "TilePrep",
+    "TileTransform",
+    "assemble_tiles",
+    "compress_image",
+    "decompress_image",
+    "split_tiles",
+    "tile_magnitudes",
+    "uniform_code_step",
+]

@@ -1,0 +1,292 @@
+"""Entropy coding for the image wire format: static-model byte rANS.
+
+The container's integer payloads (quantized coefficients or codes, sign
+planes, norm bytes) are serialized as a byte-symbol stream and entropy
+coded with a range asymmetric numeral system (rANS) — the coder behind
+modern codecs (JPEG XL, Zstd's FSE is the table-driven sibling).  The
+model is *static*: one pass counts byte frequencies, normalizes them to
+a 12-bit total, and the (symbol, count) pairs ride in the blob so the
+decoder rebuilds the identical model.  Encoding runs the state update
+backwards over the stream (rANS is LIFO); decoding walks forwards.
+
+The round trip is **bit-exact**: ``decompress_bytes(compress_bytes(b))
+== b`` for every byte string, which is what lets the container promise
+container-decode == container-encode exactly.
+
+Integer payloads reach the byte stream via two lossless maps:
+
+- :func:`fold_signed` / :func:`unfold_signed` — the zig-zag fold
+  ``0, -1, 1, -2, 2, ... -> 0, 1, 2, 3, 4, ...`` so small-magnitude
+  values (the overwhelming mass after quantization) become small
+  unsigned ints;
+- :func:`encode_varints` / :func:`decode_varints` — LEB128 (7 data bits
+  per byte, high bit = continuation), so the common case costs one
+  byte and the tail remains exact for the full ``uint64`` range.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ImagingError
+
+__all__ = [
+    "fold_signed",
+    "unfold_signed",
+    "encode_varints",
+    "decode_varints",
+    "normalize_counts",
+    "rans_encode",
+    "rans_decode",
+    "compress_bytes",
+    "decompress_bytes",
+]
+
+#: Probability resolution: counts are normalized to sum to ``2**12``.
+PROB_BITS = 12
+PROB_SCALE = 1 << PROB_BITS
+#: Lower bound of the 32-bit rANS state (byte-wise renormalization).
+RANS_L = 1 << 23
+
+
+# ----------------------------------------------------------------------
+# integer <-> byte-symbol maps
+# ----------------------------------------------------------------------
+def fold_signed(values: np.ndarray) -> np.ndarray:
+    """Map signed ints to unsigned: ``0,-1,1,-2,2 -> 0,1,2,3,4``.
+
+    Examples
+    --------
+    >>> fold_signed(np.array([0, -1, 1, -2, 2])).tolist()
+    [0, 1, 2, 3, 4]
+    """
+    arr = np.asarray(values, dtype=np.int64)
+    return np.where(arr >= 0, 2 * arr, -2 * arr - 1).astype(np.uint64)
+
+
+def unfold_signed(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`fold_signed`."""
+    arr = np.asarray(values, dtype=np.uint64)
+    half = (arr >> np.uint64(1)).astype(np.int64)
+    return np.where(arr & np.uint64(1), -half - 1, half)
+
+
+def encode_varints(values: np.ndarray) -> bytes:
+    """LEB128-encode unsigned ints into a byte string (vectorized)."""
+    vals = np.asarray(values, dtype=np.uint64)
+    if vals.size == 0:
+        return b""
+    # Bytes needed per value: ceil(bit_length / 7), minimum 1.
+    nbits = np.zeros(vals.shape, dtype=np.int64)
+    probe = vals.copy()
+    while np.any(probe):
+        nonzero = probe != 0
+        nbits[nonzero] += 7
+        probe >>= np.uint64(7)
+    lengths = np.maximum(nbits // 7, 1)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    out = np.empty(int(offsets[-1]), dtype=np.uint8)
+    for k in range(int(lengths.max())):
+        active = lengths > k
+        chunk = (vals[active] >> np.uint64(7 * k)) & np.uint64(0x7F)
+        more = (lengths[active] - 1) > k
+        out[offsets[:-1][active] + k] = chunk.astype(np.uint8) | (
+            more.astype(np.uint8) << 7
+        )
+    return out.tobytes()
+
+
+def decode_varints(data: bytes, count: int) -> Tuple[np.ndarray, int]:
+    """Decode ``count`` LEB128 ints; returns ``(values, bytes_consumed)``."""
+    if count == 0:
+        return np.empty(0, dtype=np.uint64), 0
+    buf = np.frombuffer(data, dtype=np.uint8)
+    terminal = np.flatnonzero((buf & 0x80) == 0)
+    if terminal.size < count:
+        raise ImagingError(
+            f"varint stream truncated: {terminal.size} complete values, "
+            f"{count} expected"
+        )
+    end = int(terminal[count - 1]) + 1
+    buf = buf[:end]
+    # Value index of each byte, position of each byte within its value.
+    starts = np.concatenate([[0], terminal[: count - 1] + 1])
+    value_idx = np.repeat(
+        np.arange(count), np.diff(np.concatenate([starts, [end]]))
+    )
+    within = np.arange(end) - starts[value_idx]
+    if np.any(within > 9):
+        raise ImagingError("varint longer than 10 bytes (corrupt stream)")
+    values = np.zeros(count, dtype=np.uint64)
+    np.add.at(
+        values,
+        value_idx,
+        (buf & 0x7F).astype(np.uint64) << (7 * within).astype(np.uint64),
+    )
+    return values, end
+
+
+# ----------------------------------------------------------------------
+# rANS core
+# ----------------------------------------------------------------------
+def normalize_counts(histogram: np.ndarray) -> np.ndarray:
+    """Scale a 256-bin histogram to sum exactly ``PROB_SCALE``.
+
+    Every symbol that occurs keeps a count of at least 1 (a zero count
+    would make it unencodable); the remainder is absorbed by the most
+    frequent symbols.
+    """
+    hist = np.asarray(histogram, dtype=np.int64)
+    if hist.shape != (256,) or np.any(hist < 0):
+        raise ImagingError("histogram must be a (256,) non-negative array")
+    total = int(hist.sum())
+    if total == 0:
+        raise ImagingError("cannot build a model from an empty stream")
+    counts = (hist * PROB_SCALE) // total
+    counts[(hist > 0) & (counts == 0)] = 1
+    diff = PROB_SCALE - int(counts.sum())
+    while diff != 0:
+        if diff > 0:
+            counts[int(np.argmax(counts))] += diff
+            diff = 0
+        else:
+            i = int(np.argmax(counts))
+            take = min(-diff, int(counts[i]) - 1)
+            if take <= 0:  # pragma: no cover - needs > 4096 symbols
+                raise ImagingError("cannot normalize frequency table")
+            counts[i] -= take
+            diff += take
+    return counts.astype(np.uint32)
+
+
+def rans_encode(data: bytes, counts: np.ndarray) -> bytes:
+    """Encode a byte string under normalized ``counts``; returns the blob
+    the matching :func:`rans_decode` consumes front-to-back."""
+    freqs = np.asarray(counts, dtype=np.int64)
+    starts = np.concatenate([[0], np.cumsum(freqs)[:-1]])
+    freq_list = freqs.tolist()
+    start_list = starts.tolist()
+    out = bytearray()
+    state = RANS_L
+    renorm_base = RANS_L >> PROB_BITS
+    for s in reversed(data):
+        f = freq_list[s]
+        if f == 0:
+            raise ImagingError(f"symbol {s} has zero frequency")
+        x_max = (renorm_base << 8) * f
+        while state >= x_max:
+            out.append(state & 0xFF)
+            state >>= 8
+        state = ((state // f) << PROB_BITS) + (state % f) + start_list[s]
+    for _ in range(4):
+        out.append(state & 0xFF)
+        state >>= 8
+    out.reverse()
+    return bytes(out)
+
+
+def rans_decode(blob: bytes, counts: np.ndarray, n_symbols: int) -> bytes:
+    """Decode ``n_symbols`` bytes from a :func:`rans_encode` blob."""
+    if len(blob) < 4:
+        raise ImagingError("rANS blob shorter than its 4-byte state")
+    freqs = np.asarray(counts, dtype=np.int64)
+    if int(freqs.sum()) != PROB_SCALE:
+        raise ImagingError("frequency table does not sum to PROB_SCALE")
+    starts = np.concatenate([[0], np.cumsum(freqs)[:-1]])
+    # Slot -> symbol lookup over the full 12-bit probability range.
+    slot_symbol = np.repeat(
+        np.arange(256, dtype=np.uint8), freqs
+    )
+    freq_list = freqs.tolist()
+    start_list = starts.tolist()
+    state = (blob[0] << 24) | (blob[1] << 16) | (blob[2] << 8) | blob[3]
+    pos = 4
+    mask = PROB_SCALE - 1
+    out = bytearray(n_symbols)
+    end = len(blob)
+    for i in range(n_symbols):
+        slot = state & mask
+        s = slot_symbol[slot]
+        out[i] = s
+        state = freq_list[s] * (state >> PROB_BITS) + slot - start_list[s]
+        while state < RANS_L:
+            if pos >= end:
+                raise ImagingError("rANS blob truncated mid-stream")
+            state = (state << 8) | blob[pos]
+            pos += 1
+    if state != RANS_L:
+        raise ImagingError("rANS stream did not terminate at the base state")
+    return bytes(out)
+
+
+# ----------------------------------------------------------------------
+# self-contained blobs (model + payload)
+# ----------------------------------------------------------------------
+def compress_bytes(data: bytes) -> bytes:
+    """One-call entropy coding: model header + rANS payload.
+
+    Layout (little-endian): ``u32 n_raw``, ``u16 n_distinct``,
+    ``n_distinct * (u8 symbol, u16 count)``, ``u32 blob_len``, blob.
+
+    Examples
+    --------
+    >>> payload = bytes([0, 0, 1, 0, 2, 0, 0]) * 40
+    >>> blob = compress_bytes(payload)
+    >>> decompress_bytes(blob) == payload
+    True
+    >>> len(blob) < len(payload)
+    True
+    """
+    if len(data) == 0:
+        return struct.pack("<I", 0)
+    hist = np.bincount(
+        np.frombuffer(data, dtype=np.uint8), minlength=256
+    )
+    counts = normalize_counts(hist)
+    present = np.flatnonzero(counts)
+    blob = rans_encode(data, counts)
+    parts = [struct.pack("<IH", len(data), present.size)]
+    for sym in present:
+        parts.append(struct.pack("<BH", int(sym), int(counts[sym])))
+    parts.append(struct.pack("<I", len(blob)))
+    parts.append(blob)
+    return b"".join(parts)
+
+
+def decompress_bytes(blob: bytes) -> bytes:
+    """Exact inverse of :func:`compress_bytes` (raises on malformation)."""
+    data, consumed = decompress_bytes_from(blob, 0)
+    if consumed != len(blob):
+        raise ImagingError(
+            f"{len(blob) - consumed} trailing bytes after entropy blob"
+        )
+    return data
+
+
+def decompress_bytes_from(blob: bytes, offset: int) -> Tuple[bytes, int]:
+    """Decode one :func:`compress_bytes` blob starting at ``offset``;
+    returns ``(payload, next_offset)`` so blobs can be concatenated."""
+    try:
+        (n_raw,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        if n_raw == 0:
+            return b"", offset
+        (n_distinct,) = struct.unpack_from("<H", blob, offset)
+        offset += 2
+        counts = np.zeros(256, dtype=np.uint32)
+        for _ in range(n_distinct):
+            sym, cnt = struct.unpack_from("<BH", blob, offset)
+            offset += 3
+            counts[sym] = cnt
+        (blob_len,) = struct.unpack_from("<I", blob, offset)
+        offset += 4
+        payload = blob[offset : offset + blob_len]
+        if len(payload) != blob_len:
+            raise ImagingError("entropy blob truncated")
+        offset += blob_len
+    except struct.error as exc:
+        raise ImagingError(f"malformed entropy blob: {exc}") from exc
+    return rans_decode(payload, counts, n_raw), offset

@@ -1,0 +1,172 @@
+"""Coefficient quantization: the lossy rate knob of the image pipeline.
+
+JPEG's rate control is a table of per-coefficient step sizes, coarser
+for high spatial frequencies (where the eye is less sensitive and the
+DCT packs little energy), scaled by a single ``quality`` knob.  This
+module reproduces that contract at the repo's scale:
+
+- :meth:`QuantizationTable.jpeg_like` builds a ``T^2``-entry step table
+  in zig-zag order for pixels in ``[0, 1]``: the step for a coefficient
+  on anti-diagonal ``s = r + c`` grows linearly with ``s``, and the
+  whole table is scaled by the standard JPEG quality curve
+  (``5000/Q`` below 50, ``200 - 2Q`` above).
+- ``quantize`` maps float coefficients to ``int32`` levels
+  (``round(c / step)``); ``dequantize`` maps levels back
+  (``q * step``).  ``dequantize(quantize(c))`` is within ``step / 2``
+  of ``c`` per entry — the quantization contract the container and the
+  rate-distortion bench rely on.
+
+Steps are stored as ``float32`` (exactly what the wire header carries),
+so an encoder's table and the table a decoder rebuilds from the header
+are bit-identical — dequantization is reproducible across the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.dct import zigzag_indices
+from repro.exceptions import ImagingError
+
+__all__ = ["QuantizationTable", "uniform_code_step"]
+
+#: Base step of the DC coefficient for unit-range pixels (~3/255, the
+#: JPEG luminance table's flavour rescaled from the [0, 255] range).
+_DC_BASE = 3.0 / 255.0
+#: Additional step per anti-diagonal (linear frequency ramp).
+_SLOPE = 2.0 / 255.0
+
+
+@dataclass(frozen=True)
+class QuantizationTable:
+    """Per-coefficient uniform scalar quantizer (zig-zag order).
+
+    Attributes
+    ----------
+    steps:
+        ``(n,)`` positive ``float32`` step sizes, one per coefficient
+        slot in the transform's output order.
+    quality:
+        The 1-100 knob the table was derived from (informational; the
+        steps are authoritative).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> table = QuantizationTable.jpeg_like(tile_size=2, quality=50)
+    >>> c = np.array([[0.53, -0.21, 0.02, 0.0]])
+    >>> q = table.quantize(c)
+    >>> q.dtype
+    dtype('int32')
+    >>> err = np.abs(table.dequantize(q) - c)
+    >>> bool(np.all(err <= table.steps.astype(np.float64) / 2 + 1e-12))
+    True
+    """
+
+    steps: np.ndarray
+    quality: int = 0
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.steps, dtype=np.float32).ravel()
+        if arr.size == 0:
+            raise ImagingError("quantization table must not be empty")
+        if not np.all(np.isfinite(arr)) or np.any(arr <= 0):
+            raise ImagingError(
+                "quantization steps must be positive and finite"
+            )
+        arr = np.ascontiguousarray(arr)
+        arr.flags.writeable = False
+        object.__setattr__(self, "steps", arr)
+        object.__setattr__(self, "quality", int(self.quality))
+
+    @property
+    def num_coefficients(self) -> int:
+        return int(self.steps.size)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def jpeg_like(
+        cls, tile_size: int, quality: int = 75
+    ) -> "QuantizationTable":
+        """Frequency-ramped table for ``T x T`` DCT tiles in ``[0, 1]``.
+
+        ``quality`` follows the standard JPEG curve: 50 is the base
+        table, lower is coarser (more compression), higher is finer;
+        100 approaches lossless-to-rounding.
+        """
+        if not 1 <= int(quality) <= 100:
+            raise ImagingError(
+                f"quality must be in [1, 100], got {quality}"
+            )
+        if tile_size < 1:
+            raise ImagingError(f"tile_size must be >= 1, got {tile_size}")
+        quality = int(quality)
+        zz = zigzag_indices(tile_size)
+        diagonal = (zz[:, 0] + zz[:, 1]).astype(np.float64)
+        base = _DC_BASE + _SLOPE * diagonal
+        scale = (5000.0 / quality if quality < 50 else 200.0 - 2.0 * quality)
+        steps = np.maximum(base * (scale / 100.0), 1e-7)
+        return cls(steps=steps.astype(np.float32), quality=quality)
+
+    @classmethod
+    def uniform(cls, num_coefficients: int, step: float) -> "QuantizationTable":
+        """A flat table (every slot quantized with the same ``step``)."""
+        if step <= 0 or not np.isfinite(step):
+            raise ImagingError(f"step must be positive, got {step}")
+        return cls(
+            steps=np.full(num_coefficients, step, dtype=np.float32)
+        )
+
+    # ------------------------------------------------------------------
+    def _check(self, arr: np.ndarray) -> None:
+        if arr.ndim != 2 or arr.shape[1] != self.num_coefficients:
+            raise ImagingError(
+                f"expected (M, {self.num_coefficients}) coefficients, got "
+                f"shape {arr.shape}"
+            )
+
+    def quantize(self, coeffs: np.ndarray) -> np.ndarray:
+        """``(M, n)`` float coefficients to ``int32`` levels."""
+        arr = np.asarray(coeffs, dtype=np.float64)
+        self._check(arr)
+        levels = np.rint(arr / self.steps.astype(np.float64))
+        if np.any(np.abs(levels) > np.iinfo(np.int32).max):
+            raise ImagingError(
+                "coefficient magnitude overflows int32 levels; the "
+                "quantization steps are too small for this data"
+            )
+        return levels.astype(np.int32)
+
+    def dequantize(self, levels: np.ndarray) -> np.ndarray:
+        """``int32`` levels back to float coefficients."""
+        arr = np.asarray(levels)
+        self._check(arr)
+        return arr.astype(np.float64) * self.steps.astype(np.float64)
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantizationTable(n={self.num_coefficients}, "
+            f"quality={self.quality}, "
+            f"steps=[{self.steps.min():.3g}..{self.steps.max():.3g}])"
+        )
+
+
+def uniform_code_step(code_bits: int) -> float:
+    """Step size quantizing unit-ball code amplitudes to ``code_bits``.
+
+    Compressed codes are entries of a unit-norm state restricted to the
+    kept subspace, so they lie in ``[-1, 1]``; ``code_bits`` bits of
+    signed range give a step of ``2^-(code_bits - 1)``.
+
+    Examples
+    --------
+    >>> uniform_code_step(8)
+    0.0078125
+    """
+    if not 2 <= int(code_bits) <= 16:
+        raise ImagingError(
+            f"code_bits must be in [2, 16], got {code_bits}"
+        )
+    return float(2.0 ** -(int(code_bits) - 1))

@@ -1,0 +1,111 @@
+"""Per-tile coefficient transforms with zig-zag ordering.
+
+A transform maps a stack of ``(M, T, T)`` pixel tiles to an ``(M, T^2)``
+coefficient matrix — one fixed-size vector per tile, which is exactly the
+shape the quantum codec (and the quantizer, and the entropy coder)
+consume — and back.  Two transforms are provided:
+
+- ``"dct"`` — orthonormal 2-D DCT-II per tile (the JPEG analysis
+  transform, reusing :mod:`repro.baselines.dct`), coefficients flattened
+  in JPEG zig-zag order so low frequencies come first.  Energy compacts
+  into the leading coefficients, which is what makes the downstream
+  quantizer's coarser high-frequency steps cheap.
+- ``"pixel"`` — the identity (raster-order pixels).  Useful as a control
+  and for payloads that are already non-negative.
+
+Both are exactly invertible: ``inverse(forward(tiles)) == tiles`` to
+floating-point rounding (the DCT is orthonormal; zig-zag is a
+permutation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.fft
+
+from repro.baselines.dct import zigzag_indices
+from repro.exceptions import ImagingError
+
+__all__ = ["TileTransform", "TRANSFORMS"]
+
+TRANSFORMS = ("dct", "pixel")
+
+
+class TileTransform:
+    """Forward/inverse coefficient transform for ``T x T`` tile stacks.
+
+    Parameters
+    ----------
+    name:
+        ``"dct"`` or ``"pixel"``.
+    tile_size:
+        Side length ``T``; the coefficient vectors have ``T^2`` entries.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> tiles = np.random.default_rng(0).random((5, 4, 4))
+    >>> tr = TileTransform("dct", tile_size=4)
+    >>> coeffs = tr.forward(tiles)
+    >>> coeffs.shape
+    (5, 16)
+    >>> bool(np.allclose(tr.inverse(coeffs), tiles))
+    True
+    """
+
+    def __init__(self, name: str, tile_size: int) -> None:
+        if name not in TRANSFORMS:
+            raise ImagingError(
+                f"unknown transform {name!r}; available: {TRANSFORMS}"
+            )
+        if not isinstance(tile_size, (int, np.integer)) or tile_size < 1:
+            raise ImagingError(
+                f"tile_size must be a positive int, got {tile_size!r}"
+            )
+        self.name = name
+        self.tile_size = int(tile_size)
+        zz = zigzag_indices(self.tile_size)
+        #: Flat raster index of the i-th zig-zag coefficient.
+        self._zigzag_flat = zz[:, 0] * self.tile_size + zz[:, 1]
+        #: Inverse permutation: raster position of each zig-zag slot.
+        self._unzigzag = np.argsort(self._zigzag_flat)
+
+    @property
+    def num_coefficients(self) -> int:
+        return self.tile_size * self.tile_size
+
+    def _check(self, tiles: np.ndarray) -> np.ndarray:
+        arr = np.asarray(tiles, dtype=np.float64)
+        t = self.tile_size
+        if arr.ndim != 3 or arr.shape[1:] != (t, t):
+            raise ImagingError(
+                f"expected (M, {t}, {t}) tiles, got shape {arr.shape}"
+            )
+        return arr
+
+    # ------------------------------------------------------------------
+    def forward(self, tiles: np.ndarray) -> np.ndarray:
+        """``(M, T, T)`` tiles to ``(M, T^2)`` ordered coefficients."""
+        arr = self._check(tiles)
+        m = arr.shape[0]
+        if self.name == "dct":
+            planes = scipy.fft.dctn(arr, axes=(1, 2), norm="ortho")
+            return planes.reshape(m, -1)[:, self._zigzag_flat]
+        return arr.reshape(m, -1)
+
+    def inverse(self, coeffs: np.ndarray) -> np.ndarray:
+        """``(M, T^2)`` ordered coefficients back to ``(M, T, T)`` tiles."""
+        arr = np.asarray(coeffs, dtype=np.float64)
+        n = self.num_coefficients
+        if arr.ndim != 2 or arr.shape[1] != n:
+            raise ImagingError(
+                f"expected (M, {n}) coefficients, got shape {arr.shape}"
+            )
+        t = self.tile_size
+        if self.name == "dct":
+            planes = arr[:, self._unzigzag].reshape(-1, t, t)
+            return scipy.fft.idctn(planes, axes=(1, 2), norm="ortho")
+        return arr.reshape(-1, t, t)
+
+    def __repr__(self) -> str:
+        return f"TileTransform({self.name!r}, tile_size={self.tile_size})"

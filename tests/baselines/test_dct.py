@@ -2,6 +2,9 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
 
 from repro.baselines.dct import DCTCompressor, dct2, idct2, zigzag_indices
 from repro.exceptions import BaselineError
@@ -27,6 +30,49 @@ class TestTransforms:
             dct2(np.ones(4))
         with pytest.raises(BaselineError):
             idct2(np.ones(4))
+
+
+_shapes = st.tuples(st.integers(1, 12), st.integers(1, 12))
+
+
+class TestTransformProperties:
+    """Hypothesis contracts: the DCT pair inverts exactly and zig-zag
+    ordering is a permutation — the invariants ``repro.imaging`` builds
+    its coefficient pipeline on."""
+
+    @given(image=_shapes.flatmap(lambda s: arrays(
+        np.float64, s,
+        elements=st.floats(-1e3, 1e3, allow_nan=False,
+                           allow_infinity=False),
+    )))
+    @settings(max_examples=60)
+    def test_idct2_inverts_dct2(self, image):
+        assert np.allclose(idct2(dct2(image)), image, atol=1e-8)
+
+    @given(image=_shapes.flatmap(lambda s: arrays(
+        np.float64, s,
+        elements=st.floats(-1e3, 1e3, allow_nan=False,
+                           allow_infinity=False),
+    )))
+    @settings(max_examples=60)
+    def test_dct2_preserves_energy(self, image):
+        assert np.sum(dct2(image) ** 2) == pytest.approx(
+            np.sum(image**2), rel=1e-9, abs=1e-9
+        )
+
+    @given(size=st.integers(1, 32))
+    @settings(max_examples=32)
+    def test_zigzag_is_permutation(self, size):
+        zz = zigzag_indices(size)
+        assert zz.shape == (size * size, 2)
+        flat = zz[:, 0] * size + zz[:, 1]
+        assert np.array_equal(np.sort(flat), np.arange(size * size))
+
+    @given(size=st.integers(1, 16))
+    @settings(max_examples=16)
+    def test_zigzag_antidiagonals_nondecreasing(self, size):
+        zz = zigzag_indices(size)
+        assert np.all(np.diff(zz.sum(axis=1)) >= 0)
 
 
 class TestZigzag:

@@ -1,0 +1,158 @@
+"""CLI tests: repro compress-image / decompress-image on PGM files."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.imaging import CompressedImage
+from repro.io.image_io import read_pgm, write_pgm
+
+FIXTURE = (
+    Path(__file__).resolve().parents[1] / "io" / "data" / "sample.pgm"
+)
+
+
+@pytest.fixture(scope="module")
+def checkpoint(tmp_path_factory):
+    path = tmp_path_factory.mktemp("ckpt") / "model.npz"
+    assert main([
+        "train", "--checkpoint", str(path), "--iterations", "5",
+        "--backend", "fused",
+    ]) == 0
+    return path
+
+
+@pytest.fixture()
+def pgm(tmp_path):
+    rng = np.random.default_rng(11)
+    yy = np.linspace(0, 1, 18)[:, None] * np.ones((1, 13))
+    image = np.clip(yy + 0.1 * rng.random((18, 13)), 0.0, 1.0)
+    path = tmp_path / "in.pgm"
+    write_pgm(image, path)
+    return path
+
+
+class TestParser:
+    def test_compress_image_args(self):
+        args = build_parser().parse_args([
+            "compress-image", "--input", "a.pgm", "--output", "a.rimg",
+            "--quality", "40", "--tile-size", "8", "--transform",
+            "pixel", "--pad", "zero", "--code-bits", "10",
+        ])
+        assert args.quality == 40 and args.tile_size == 8
+        assert args.transform == "pixel" and args.pad == "zero"
+        assert args.code_bits == 10 and args.checkpoint is None
+
+    def test_decompress_image_args(self):
+        args = build_parser().parse_args([
+            "decompress-image", "--input", "a.rimg", "--output",
+            "a.pgm", "--reference", "ref.pgm", "--binary",
+        ])
+        assert args.reference == "ref.pgm" and args.binary
+
+    def test_bad_transform_rejected(self, capsys):
+        assert main([
+            "compress-image", "--input", "a.pgm", "--output", "a.rimg",
+            "--transform", "haar",
+        ]) == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+
+class TestClassicalCLI:
+    def test_roundtrip_with_psnr(self, tmp_path, pgm, capsys):
+        blob_path = tmp_path / "img.rimg"
+        assert main([
+            "compress-image", "--input", str(pgm), "--output",
+            str(blob_path), "--quality", "90",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "transform mode" in out and "bpp" in out
+        blob = CompressedImage.from_bytes(blob_path.read_bytes())
+        assert blob.grid.height == 18 and blob.grid.width == 13
+
+        out_path = tmp_path / "out.pgm"
+        assert main([
+            "decompress-image", "--input", str(blob_path), "--output",
+            str(out_path), "--reference", str(pgm),
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "PSNR" in printed
+        assert read_pgm(out_path).shape == (18, 13)
+
+    def test_binary_output(self, tmp_path, pgm):
+        blob_path, out_path = tmp_path / "i.rimg", tmp_path / "o.pgm"
+        assert main([
+            "compress-image", "--input", str(pgm), "--output",
+            str(blob_path),
+        ]) == 0
+        assert main([
+            "decompress-image", "--input", str(blob_path), "--output",
+            str(out_path), "--binary",
+        ]) == 0
+        assert out_path.read_bytes()[:2] == b"P5"
+
+    def test_committed_fixture_roundtrips(self, tmp_path, capsys):
+        """The CI smoke's committed PGM fixture must stay decodable."""
+        blob_path = tmp_path / "s.rimg"
+        out_path = tmp_path / "s.pgm"
+        assert main([
+            "compress-image", "--input", str(FIXTURE), "--output",
+            str(blob_path), "--quality", "60",
+        ]) == 0
+        assert main([
+            "decompress-image", "--input", str(blob_path), "--output",
+            str(out_path), "--reference", str(FIXTURE),
+        ]) == 0
+        out = capsys.readouterr().out
+        psnr_db = float(out.rsplit(": ", 1)[1].split(" dB")[0])
+        assert psnr_db > 30.0
+
+
+class TestQuantumCLI:
+    def test_roundtrip(self, tmp_path, pgm, checkpoint, capsys):
+        blob_path, out_path = tmp_path / "q.rimg", tmp_path / "q.pgm"
+        assert main([
+            "compress-image", "--input", str(pgm), "--output",
+            str(blob_path), "--checkpoint", str(checkpoint),
+        ]) == 0
+        assert "quantum mode" in capsys.readouterr().out
+        blob = CompressedImage.from_bytes(blob_path.read_bytes())
+        assert blob.mode == "quantum" and blob.compressed_dim == 4
+        assert main([
+            "decompress-image", "--input", str(blob_path), "--output",
+            str(out_path), "--checkpoint", str(checkpoint),
+        ]) == 0
+        assert read_pgm(out_path).shape == (18, 13)
+
+    def test_quantum_blob_without_checkpoint_fails(
+        self, tmp_path, pgm, checkpoint, capsys
+    ):
+        blob_path = tmp_path / "q.rimg"
+        assert main([
+            "compress-image", "--input", str(pgm), "--output",
+            str(blob_path), "--checkpoint", str(checkpoint),
+        ]) == 0
+        capsys.readouterr()
+        assert main([
+            "decompress-image", "--input", str(blob_path), "--output",
+            str(tmp_path / "x.pgm"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_input_is_operator_error(self, tmp_path, capsys):
+        assert main([
+            "compress-image", "--input", str(tmp_path / "nope.pgm"),
+            "--output", str(tmp_path / "x.rimg"),
+        ]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_garbage_container_is_operator_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rimg"
+        bad.write_bytes(b"definitely not a wire-format-v2 container")
+        assert main([
+            "decompress-image", "--input", str(bad), "--output",
+            str(tmp_path / "x.pgm"),
+        ]) == 1
+        assert "magic" in capsys.readouterr().err

@@ -1,0 +1,143 @@
+"""Tests for repro.imaging.entropy — varints, rANS, the byte codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ImagingError
+from repro.imaging.entropy import (
+    PROB_SCALE,
+    compress_bytes,
+    decode_varints,
+    decompress_bytes,
+    decompress_bytes_from,
+    encode_varints,
+    fold_signed,
+    normalize_counts,
+    rans_decode,
+    rans_encode,
+    unfold_signed,
+)
+
+
+class TestSignedFold:
+    def test_known_values(self):
+        values = np.array([0, -1, 1, -2, 2, -3])
+        assert fold_signed(values).tolist() == [0, 1, 2, 3, 4, 5]
+
+    def test_roundtrip_extremes(self):
+        values = np.array([0, 1, -1, 2**30, -(2**30)], dtype=np.int64)
+        assert np.array_equal(unfold_signed(fold_signed(values)), values)
+
+    @given(st.lists(st.integers(-(2**31) + 1, 2**31 - 1), max_size=64))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        assert np.array_equal(unfold_signed(fold_signed(arr)), arr)
+
+
+class TestVarints:
+    def test_single_byte_values(self):
+        data = encode_varints(np.array([0, 1, 127]))
+        assert data == bytes([0, 1, 127])
+
+    def test_multi_byte_boundary(self):
+        data = encode_varints(np.array([128]))
+        assert data == bytes([0x80, 0x01])  # LEB128
+
+    def test_roundtrip(self, rng):
+        values = rng.integers(0, 2**40, size=200).astype(np.uint64)
+        data = encode_varints(values)
+        decoded, consumed = decode_varints(data, 200)
+        assert consumed == len(data)
+        assert np.array_equal(decoded, values)
+
+    def test_empty(self):
+        assert encode_varints(np.array([], dtype=np.uint64)) == b""
+        decoded, consumed = decode_varints(b"", 0)
+        assert decoded.size == 0 and consumed == 0
+
+    def test_truncated_rejected(self):
+        data = encode_varints(np.array([300, 300]))
+        with pytest.raises(ImagingError):
+            decode_varints(data[:-1], 2)
+
+    @given(st.lists(st.integers(0, 2**62), max_size=100))
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, values):
+        arr = np.asarray(values, dtype=np.uint64)
+        decoded, consumed = decode_varints(encode_varints(arr), len(values))
+        assert np.array_equal(decoded, arr)
+
+
+class TestRans:
+    def test_roundtrip_skewed(self, rng):
+        data = bytes(rng.choice([0, 0, 0, 0, 1, 2, 7], size=5000))
+        counts = normalize_counts(
+            np.bincount(np.frombuffer(data, np.uint8), minlength=256)
+        )
+        blob = rans_encode(data, counts)
+        assert rans_decode(blob, counts, len(data)) == data
+        assert len(blob) < len(data)  # skewed input actually compresses
+
+    def test_roundtrip_all_bytes(self, rng):
+        data = bytes(rng.integers(0, 256, size=4096, dtype=np.uint64))
+        counts = normalize_counts(
+            np.bincount(np.frombuffer(data, np.uint8), minlength=256)
+        )
+        assert rans_decode(rans_encode(data, counts), counts, len(data)) \
+            == data
+
+    def test_normalize_counts_sums_to_scale(self, rng):
+        hist = np.bincount(rng.integers(0, 5, size=100), minlength=256)
+        counts = normalize_counts(hist)
+        assert counts.sum() == PROB_SCALE
+        assert np.all(counts[hist > 0] >= 1)
+        assert np.all(counts[hist == 0] == 0)
+
+    def test_corrupt_blob_rejected(self, rng):
+        data = bytes(rng.choice([3, 5], size=256))
+        counts = normalize_counts(
+            np.bincount(np.frombuffer(data, np.uint8), minlength=256)
+        )
+        blob = bytearray(rans_encode(data, counts))
+        blob[0] ^= 0xFF  # smash the final-state bytes
+        with pytest.raises(ImagingError):
+            rans_decode(bytes(blob), counts, len(data))
+
+
+class TestCompressBytes:
+    @pytest.mark.parametrize(
+        "data",
+        [b"", b"\x00", b"abc", b"\x00" * 1000, bytes(range(256)) * 4],
+    )
+    def test_roundtrip_fixed(self, data):
+        assert decompress_bytes(compress_bytes(data)) == data
+
+    def test_roundtrip_random(self, rng):
+        data = bytes(rng.integers(0, 256, size=3000, dtype=np.uint64))
+        assert decompress_bytes(compress_bytes(data)) == data
+
+    def test_skewed_compresses(self, rng):
+        data = bytes(rng.choice([0] * 9 + [1], size=10_000))
+        assert len(compress_bytes(data)) < len(data) // 2
+
+    def test_offset_reader_consumes_exactly(self):
+        blob = compress_bytes(b"hello") + b"trailing"
+        data, offset = decompress_bytes_from(
+            b"XX" + compress_bytes(b"hello") + b"trailing", 2
+        )
+        assert data == b"hello"
+        assert offset == 2 + len(compress_bytes(b"hello"))
+        assert blob  # silence unused warning
+
+    def test_truncated_rejected(self):
+        blob = compress_bytes(b"some payload bytes")
+        with pytest.raises(ImagingError):
+            decompress_bytes(blob[:-2])
+
+    @given(st.binary(max_size=2048))
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, data):
+        assert decompress_bytes(compress_bytes(data)) == data

@@ -1,0 +1,253 @@
+"""Tests for repro.imaging.pipeline — the end-to-end image path."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImagingError
+from repro.imaging import (
+    CompressedImage,
+    QuantizationTable,
+    compress_image,
+    decompress_image,
+    tile_magnitudes,
+)
+from repro.training.metrics import psnr
+
+
+def _scene(h=37, w=29, seed=0):
+    rng = np.random.default_rng(seed)
+    yy, xx = np.meshgrid(
+        np.linspace(0, 1, h), np.linspace(0, 1, w), indexing="ij"
+    )
+    return np.clip(
+        0.6 * yy + 0.3 * np.sin(6 * xx) ** 2 + 0.05 * rng.random((h, w)),
+        0.0,
+        1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def codec16():
+    """A quickly-fitted dim=16 codec shared by the quantum-mode tests."""
+    from repro.api import Codec, CodecSpec
+
+    prep = tile_magnitudes(_scene(32, 32, seed=3), tile_size=4)
+    X = prep.magnitudes / np.linalg.norm(
+        prep.magnitudes, axis=1, keepdims=True
+    )
+    spec = CodecSpec(iterations=30, backend="fused", seed=7)
+    return Codec(spec).fit(X)
+
+
+class TestTileMagnitudes:
+    def test_shapes(self):
+        prep = tile_magnitudes(_scene(), tile_size=4)
+        m = prep.grid.num_tiles
+        assert prep.levels.shape == (m, 16)
+        assert prep.magnitudes.shape == (m, 16)
+        assert prep.signs.shape == (m, 16)
+        assert prep.zero_tiles.shape == (m,)
+        assert np.all(prep.magnitudes >= 0.0)
+
+    def test_zero_tiles_get_placeholder(self):
+        prep = tile_magnitudes(np.zeros((8, 8)), tile_size=4)
+        assert np.all(prep.zero_tiles)
+        # The placeholder keeps every codec input encodable (Eq. 1).
+        assert np.all(np.linalg.norm(prep.magnitudes, axis=1) > 0)
+
+    def test_rejects_bad_images(self):
+        with pytest.raises(ImagingError):
+            tile_magnitudes(np.ones((2, 2)) * 1.5)
+        with pytest.raises(ImagingError):
+            tile_magnitudes(np.full((2, 2), np.nan))
+        with pytest.raises(ImagingError):
+            tile_magnitudes(np.ones(4))
+
+
+class TestClassicalPath:
+    def test_roundtrip_non_multiple_dims(self):
+        image = _scene(37, 29)
+        blob = compress_image(image, quality=85)
+        out = decompress_image(blob)
+        assert out.shape == image.shape
+        assert psnr(out, image) > 40.0
+
+    def test_container_survives_the_wire(self):
+        blob = compress_image(_scene(), quality=60)
+        back = CompressedImage.from_bytes(blob.to_bytes())
+        assert back == blob
+        assert np.array_equal(decompress_image(back), decompress_image(blob))
+
+    def test_quality_is_a_rate_knob(self):
+        image = _scene()
+        low = compress_image(image, quality=20)
+        high = compress_image(image, quality=90)
+        assert low.bits_per_pixel() < high.bits_per_pixel()
+        assert psnr(decompress_image(low), image) < psnr(
+            decompress_image(high), image
+        )
+
+    def test_all_zero_image(self):
+        blob = compress_image(np.zeros((10, 6)))
+        assert np.array_equal(decompress_image(blob), np.zeros((10, 6)))
+
+    def test_pixel_transform_roundtrip(self):
+        image = _scene(9, 5)
+        blob = compress_image(image, transform="pixel", quality=95)
+        out = decompress_image(blob)
+        assert psnr(out, image) > 35.0
+
+    def test_explicit_table_overrides_quality(self):
+        image = _scene(8, 8)
+        table = QuantizationTable.uniform(16, 1e-4)
+        blob = compress_image(image, table=table)
+        assert psnr(decompress_image(blob), image) > 70.0
+
+    @pytest.mark.parametrize("shape", [(1, 1), (3, 17), (16, 16), (5, 40)])
+    def test_arbitrary_shapes(self, shape):
+        image = _scene(*shape)
+        out = decompress_image(compress_image(image, quality=90))
+        assert out.shape == shape
+
+
+class TestQuantumPath:
+    def test_roundtrip(self, codec16):
+        image = _scene()
+        blob = compress_image(image, codec16, quality=85)
+        assert blob.mode == "quantum"
+        assert blob.codes.shape == (4, blob.num_tiles)
+        out = decompress_image(blob, codec16)
+        assert out.shape == image.shape
+        assert np.all((out >= 0.0) & (out <= 1.0))
+
+    def test_wire_roundtrip_bit_exact(self, codec16):
+        blob = compress_image(_scene(), codec16)
+        back = CompressedImage.from_bytes(blob.to_bytes())
+        assert back == blob
+        assert np.array_equal(
+            decompress_image(back, codec16),
+            decompress_image(blob, codec16),
+        )
+
+    def test_zero_tiles_bypass_codec(self, codec16):
+        image = np.zeros((8, 8))
+        image[0, 0] = 0.5
+        blob = compress_image(image, codec16)
+        assert blob.norms[1:].max() == 0.0  # tiles 1-3 are all-zero
+        out = decompress_image(blob, codec16)
+        assert np.array_equal(out[4:, 4:], np.zeros((4, 4)))
+
+    def test_all_zero_image_quantum(self, codec16):
+        blob = compress_image(np.zeros((8, 8)), codec16)
+        assert np.all(blob.norms == 0.0)
+        assert np.array_equal(
+            decompress_image(blob, codec16), np.zeros((8, 8))
+        )
+
+    def test_signs_restored(self, codec16):
+        """Eq. 2 observes magnitudes only; the sign plane must restore
+        negative DCT coefficients through the full pipeline."""
+        image = _scene()
+        prep = tile_magnitudes(image, tile_size=4, quality=85)
+        assert prep.signs.any()  # the scene has negative AC coefficients
+        blob = compress_image(image, codec16, quality=85)
+        assert np.array_equal(blob.signs, prep.signs)
+
+    def test_dim_mismatch_rejected(self, codec16):
+        with pytest.raises(ImagingError, match="tile_size"):
+            compress_image(_scene(), codec16, tile_size=3)
+
+    def test_decompress_needs_codec(self, codec16):
+        blob = compress_image(_scene(), codec16)
+        with pytest.raises(ImagingError, match="codec"):
+            decompress_image(blob)
+
+    def test_decompress_wrong_codec_rejected(self, codec16):
+        from repro.api import Codec, CodecSpec
+
+        blob = compress_image(_scene(), codec16)
+        other = Codec(CodecSpec(compressed_dim=2, iterations=1))
+        with pytest.raises(ImagingError, match="compressed_dim"):
+            decompress_image(blob, other)
+
+    def test_code_bits_rate_tradeoff(self, codec16):
+        image = _scene()
+        narrow = compress_image(image, codec16, code_bits=4)
+        wide = compress_image(image, codec16, code_bits=12)
+        assert narrow.num_bytes() < wide.num_bytes()
+
+    def test_tile_size_inferred_from_codec(self, codec16):
+        blob = compress_image(_scene(), codec16)  # no tile_size given
+        assert blob.grid.tile_size == 4
+
+    def test_not_a_container_rejected(self):
+        with pytest.raises(ImagingError):
+            decompress_image(b"junk")
+
+
+class TestPoolFanOut:
+    def test_session_fanout_matches_single_process(self, codec16):
+        """A pool-attached session must produce the same codes as the
+        in-process path to 1e-10 (compared pre-quantization, where a
+        level flip at a rounding boundary cannot amplify the diff)."""
+        from repro.parallel.pool import WorkerPool
+
+        image = _scene(64, 64, seed=5)
+        prep = tile_magnitudes(image, tile_size=4, quality=85)
+        single = codec16.compress(prep.magnitudes).codes
+        with WorkerPool(processes=2) as pool:
+            session = codec16.session(
+                flush_latency=None, chunk_size=16, pool=pool
+            )
+            try:
+                scattered = session.compress(prep.magnitudes).codes
+            finally:
+                session.close()
+        assert scattered.shape == single.shape
+        assert np.max(np.abs(scattered - single)) <= 1e-10
+
+    def test_session_end_to_end_container(self, codec16):
+        """compress_image accepts a pool-attached session as the codec."""
+        from repro.parallel.pool import WorkerPool
+
+        image = _scene(48, 40, seed=6)
+        with WorkerPool(processes=2) as pool:
+            session = codec16.session(
+                flush_latency=None, chunk_size=16, pool=pool
+            )
+            try:
+                via_session = compress_image(image, session, quality=85)
+            finally:
+                session.close()
+        via_codec = compress_image(image, codec16, quality=85)
+        assert via_session.grid == via_codec.grid
+        assert np.array_equal(via_session.signs, via_codec.signs)
+        # Codes agree to the quantizer's resolution (float fan-out is
+        # 1e-10-close; a boundary-straddling level may differ by one).
+        assert np.max(np.abs(
+            via_session.codes - via_codec.codes
+        )) <= 1
+
+
+class TestLoadgenPayload:
+    def test_image_pool_is_codec_ready(self):
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[2] / "tools")
+        )
+        try:
+            from loadgen import build_request_pool
+        finally:
+            sys.path.pop(0)
+        pool = build_request_pool("image", 16, seed=7)
+        assert pool.shape == (256, 16)
+        assert np.all(pool >= 0.0)
+        assert np.linalg.norm(pool, axis=1).min() > 0.0  # encodable
+        again = build_request_pool("image", 16, seed=7)
+        assert np.array_equal(pool, again)  # deterministic
+        with pytest.raises(ValueError):
+            build_request_pool("image", 10, seed=7)
+        with pytest.raises(ValueError):
+            build_request_pool("nope", 16, seed=7)

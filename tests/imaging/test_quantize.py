@@ -1,0 +1,93 @@
+"""Tests for repro.imaging.quantize."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ImagingError
+from repro.imaging import QuantizationTable, uniform_code_step
+
+
+class TestQuantizationTable:
+    def test_quantize_dequantize_bounded_error(self, rng):
+        table = QuantizationTable.jpeg_like(4, 75)
+        coeffs = rng.normal(size=(10, 16))
+        levels = table.quantize(coeffs)
+        assert levels.dtype == np.int32
+        back = table.dequantize(levels)
+        # Rounding to the nearest level bounds the error by step / 2.
+        assert np.all(
+            np.abs(back - coeffs) <= table.steps.astype(np.float64) / 2
+            + 1e-12
+        )
+
+    def test_steps_float32_readonly(self):
+        table = QuantizationTable.jpeg_like(4, 50)
+        assert table.steps.dtype == np.float32
+        with pytest.raises(ValueError):
+            table.steps[0] = 1.0
+
+    def test_quality_monotonic_rate(self, rng):
+        coeffs = rng.normal(size=(20, 16))
+        mass = [
+            np.abs(QuantizationTable.jpeg_like(4, q).quantize(coeffs)).sum()
+            for q in (10, 50, 90)
+        ]
+        assert mass[0] < mass[1] < mass[2]
+
+    def test_frequency_ramp(self):
+        steps = QuantizationTable.jpeg_like(8, 75).steps
+        assert steps[0] == steps.min()  # DC is the finest
+        assert steps[-1] == steps.max()
+
+    def test_uniform_factory(self):
+        table = QuantizationTable.uniform(9, 0.25)
+        assert np.all(table.steps == np.float32(0.25))
+        levels = table.quantize(np.full((1, 9), 0.5))
+        assert np.all(levels == 2)
+
+    def test_dequantize_exact_float32_contract(self):
+        """Encoder and decoder must dequantize bit-identically from the
+        wire's float32 steps."""
+        table = QuantizationTable.jpeg_like(4, 37)
+        wire = QuantizationTable(
+            steps=np.asarray(table.steps, dtype=np.float32),
+            quality=table.quality,
+        )
+        levels = np.arange(-8, 8, dtype=np.int32).reshape(1, 16)
+        assert np.array_equal(
+            table.dequantize(levels), wire.dequantize(levels)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ImagingError):
+            QuantizationTable.jpeg_like(4, 0)
+        with pytest.raises(ImagingError):
+            QuantizationTable.jpeg_like(4, 101)
+        with pytest.raises(ImagingError):
+            QuantizationTable.jpeg_like(0, 50)
+        with pytest.raises(ImagingError):
+            QuantizationTable.uniform(4, 0.0)
+        with pytest.raises(ImagingError):
+            QuantizationTable(
+                steps=np.zeros(4, dtype=np.float32), quality=50
+            )
+        table = QuantizationTable.uniform(4, 0.5)
+        with pytest.raises(ImagingError):
+            table.quantize(np.zeros((2, 5)))
+
+
+class TestUniformCodeStep:
+    def test_values(self):
+        assert uniform_code_step(8) == 2.0**-7
+        assert uniform_code_step(2) == 0.5
+
+    def test_code_range_fits(self):
+        # Amplitudes are in [-1, 1]; 1/step must fit signed code_bits.
+        for bits in (2, 8, 16):
+            assert 1.0 / uniform_code_step(bits) <= 2 ** (bits - 1)
+
+    def test_validation(self):
+        with pytest.raises(ImagingError):
+            uniform_code_step(1)
+        with pytest.raises(ImagingError):
+            uniform_code_step(17)

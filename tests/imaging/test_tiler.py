@@ -1,0 +1,98 @@
+"""Tests for repro.imaging.tiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ImagingError
+from repro.imaging import TileGrid, assemble_tiles, split_tiles
+
+
+class TestTileGrid:
+    def test_geometry_non_multiple(self):
+        grid = TileGrid(height=37, width=29, tile_size=4)
+        assert (grid.rows, grid.cols) == (10, 8)
+        assert grid.num_tiles == 80
+        assert (grid.padded_height, grid.padded_width) == (40, 32)
+        assert grid.num_pixels == 37 * 29  # original, not padded
+
+    def test_geometry_exact_multiple(self):
+        grid = TileGrid(height=8, width=12, tile_size=4)
+        assert (grid.rows, grid.cols) == (2, 3)
+        assert (grid.padded_height, grid.padded_width) == (8, 12)
+
+    def test_dict_roundtrip(self):
+        grid = TileGrid(height=5, width=7, tile_size=4, pad_mode="zero")
+        assert TileGrid.from_dict(grid.to_dict()) == grid
+
+    def test_validation(self):
+        with pytest.raises(ImagingError):
+            TileGrid(height=0, width=4, tile_size=4)
+        with pytest.raises(ImagingError):
+            TileGrid(height=4, width=4, tile_size=0)
+        with pytest.raises(ImagingError):
+            TileGrid(height=4, width=4, tile_size=4, pad_mode="wrap")
+
+
+class TestSplitAssemble:
+    def test_roundtrip_exact(self, rng):
+        image = rng.random((12, 8))
+        tiles, grid = split_tiles(image, 4)
+        assert tiles.shape == (6, 4, 4)
+        assert np.array_equal(assemble_tiles(tiles, grid), image)
+
+    @pytest.mark.parametrize("pad_mode", ["edge", "zero"])
+    def test_roundtrip_padded(self, rng, pad_mode):
+        image = rng.random((13, 6))
+        tiles, grid = split_tiles(image, 4, pad_mode=pad_mode)
+        assert tiles.shape == (grid.num_tiles, 4, 4)
+        assert np.array_equal(assemble_tiles(tiles, grid), image)
+
+    def test_edge_padding_replicates_border(self):
+        image = np.arange(6.0).reshape(2, 3) / 10.0
+        tiles, grid = split_tiles(image, 4, pad_mode="edge")
+        padded = tiles.reshape(1, 1, 4, 4)[0, 0]
+        assert padded[3, 0] == image[1, 0]  # bottom rows replicate
+        assert padded[0, 3] == image[0, 2]  # right cols replicate
+
+    def test_zero_padding_is_zero(self):
+        image = np.ones((2, 3))
+        tiles, _ = split_tiles(image, 4, pad_mode="zero")
+        assert tiles[0, 3, :].sum() == 0.0
+        assert tiles[0, :, 3].sum() == 0.0
+
+    def test_tile_ordering_row_major(self):
+        # Tile (r, c) must land at index r * cols + c.
+        image = np.zeros((8, 8))
+        image[4:, :4] = 1.0  # tile (1, 0)
+        tiles, grid = split_tiles(image, 4)
+        assert grid.cols == 2
+        assert tiles[2].sum() == 16.0
+        assert tiles[0].sum() == tiles[1].sum() == tiles[3].sum() == 0.0
+
+    def test_single_pixel_image(self):
+        tiles, grid = split_tiles(np.array([[0.5]]), 4)
+        assert tiles.shape == (1, 4, 4)
+        out = assemble_tiles(tiles, grid)
+        assert out.shape == (1, 1) and out[0, 0] == 0.5
+
+    def test_wrong_shape_rejected(self, rng):
+        tiles, grid = split_tiles(rng.random((8, 8)), 4)
+        with pytest.raises(ImagingError):
+            grid.assemble(tiles[:-1])
+        with pytest.raises(ImagingError):
+            split_tiles(rng.random(8), 4)
+
+    @given(
+        h=st.integers(1, 23),
+        w=st.integers(1, 23),
+        t=st.integers(1, 6),
+        pad=st.sampled_from(["edge", "zero"]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=50)
+    def test_roundtrip_property(self, h, w, t, pad, seed):
+        image = np.random.default_rng(seed).random((h, w))
+        tiles, grid = split_tiles(image, t, pad_mode=pad)
+        assert np.array_equal(assemble_tiles(tiles, grid), image)

@@ -1,0 +1,59 @@
+"""Tests for repro.imaging.transform."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.dct import dct2, zigzag_indices
+from repro.exceptions import ImagingError
+from repro.imaging import TileTransform
+
+
+class TestTileTransform:
+    @pytest.mark.parametrize("name", ["dct", "pixel"])
+    def test_roundtrip(self, rng, name):
+        tr = TileTransform(name, 4)
+        tiles = rng.random((7, 4, 4))
+        back = tr.inverse(tr.forward(tiles))
+        assert np.allclose(back, tiles, atol=1e-12)
+
+    def test_forward_shape(self, rng):
+        tr = TileTransform("dct", 4)
+        assert tr.forward(rng.random((5, 4, 4))).shape == (5, 16)
+
+    def test_dct_matches_baseline_dct2(self, rng):
+        """Per-tile coefficients are exactly the baseline's 2-D DCT,
+        reordered along the baseline's zig-zag path."""
+        tile = rng.random((4, 4))
+        coeffs = TileTransform("dct", 4).forward(tile[None])[0]
+        ref = dct2(tile)
+        zz = zigzag_indices(4)
+        assert np.allclose(coeffs, ref[zz[:, 0], zz[:, 1]], atol=1e-12)
+
+    def test_dct_zigzag_dc_first(self):
+        tr = TileTransform("dct", 4)
+        flat = tr.forward(np.full((1, 4, 4), 0.7))[0]
+        assert abs(flat[0]) > 1.0  # DC = 4 * 0.7
+        assert np.allclose(flat[1:], 0.0, atol=1e-12)
+
+    def test_pixel_is_identity_flatten(self, rng):
+        tiles = rng.random((3, 2, 2))
+        out = TileTransform("pixel", 2).forward(tiles)
+        assert np.array_equal(out, tiles.reshape(3, 4))
+
+    def test_energy_preserved(self, rng):
+        tiles = rng.random((6, 4, 4))
+        coeffs = TileTransform("dct", 4).forward(tiles)
+        assert np.allclose(
+            np.sum(coeffs**2, axis=1), np.sum(tiles**2, axis=(1, 2))
+        )
+
+    def test_validation(self, rng):
+        with pytest.raises(ImagingError):
+            TileTransform("haar", 4)
+        with pytest.raises(ImagingError):
+            TileTransform("dct", 0)
+        tr = TileTransform("dct", 4)
+        with pytest.raises(ImagingError):
+            tr.forward(rng.random((3, 3, 3)))
+        with pytest.raises(ImagingError):
+            tr.inverse(rng.random((3, 9)))

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.exceptions import SerializationError
-from repro.io.image_io import read_pgm, write_pbm, write_pgm
+from repro.io.image_io import read_pbm, read_pgm, write_pbm, write_pgm
 
 
 class TestPGM:
@@ -58,6 +58,98 @@ class TestPGM:
         path.write_text("P2\n# a comment\n1 1\n255\n128\n")
         img = read_pgm(path)
         assert img[0, 0] == pytest.approx(128 / 255)
+
+
+class TestBinaryPGM:
+    def test_p5_roundtrip(self, tmp_path, rng):
+        img = rng.random((5, 7))
+        path = tmp_path / "img.pgm"
+        write_pgm(img, path, binary=True)
+        assert path.read_bytes()[:2] == b"P5"
+        assert np.allclose(read_pgm(path), img, atol=1 / 255 + 1e-9)
+
+    def test_p5_16bit_big_endian(self, tmp_path, rng):
+        img = rng.random((3, 4))
+        path = tmp_path / "img16.pgm"
+        write_pgm(img, path, max_value=65535, binary=True)
+        assert np.allclose(read_pgm(path), img, atol=1 / 65535 + 1e-9)
+        # Raster must be big-endian 16-bit per the Netpbm spec.
+        raster = path.read_bytes().split(b"65535\n", 1)[1]
+        decoded = np.frombuffer(raster, dtype=">u2").reshape(3, 4)
+        assert np.array_equal(decoded, np.rint(img * 65535))
+
+    def test_p5_levels_exact(self, tmp_path, rng):
+        levels = rng.integers(0, 256, size=(6, 6))
+        path = tmp_path / "lv.pgm"
+        write_pgm(levels / 255.0, path, binary=True)
+        assert np.array_equal(np.rint(read_pgm(path) * 255), levels)
+
+    def test_p5_raster_byte_count_enforced(self, tmp_path):
+        path = tmp_path / "short.pgm"
+        path.write_bytes(b"P5\n2 2\n255\n\x00\x01\x02")  # one byte short
+        with pytest.raises(SerializationError, match="raster"):
+            read_pgm(path)
+
+    def test_p5_header_comment(self, tmp_path):
+        path = tmp_path / "c.pgm"
+        path.write_bytes(b"P5\n# comment\n1 1\n255\n\x80")
+        assert read_pgm(path)[0, 0] == pytest.approx(128 / 255)
+
+    def test_ascii_binary_agree(self, tmp_path, rng):
+        img = rng.random((4, 9))
+        ascii_path, bin_path = tmp_path / "a.pgm", tmp_path / "b.pgm"
+        write_pgm(img, ascii_path)
+        write_pgm(img, bin_path, binary=True)
+        assert np.array_equal(read_pgm(ascii_path), read_pgm(bin_path))
+
+
+class TestReadPBM:
+    def test_p1_roundtrip(self, tmp_path, rng):
+        img = (rng.random((6, 11)) > 0.5).astype(float)
+        path = tmp_path / "b.pbm"
+        write_pbm(img, path)
+        assert np.array_equal(read_pbm(path), img)
+
+    def test_p1_packed_raster_without_whitespace(self, tmp_path):
+        # The P1 spec allows pixels with no separating whitespace.
+        path = tmp_path / "p.pbm"
+        path.write_text("P1\n# c\n3 2\n011\n100\n")
+        assert np.array_equal(
+            read_pbm(path), [[0.0, 1.0, 1.0], [1.0, 0.0, 0.0]]
+        )
+
+    def test_p4_roundtrip_non_byte_multiple_width(self, tmp_path, rng):
+        # Width 13 exercises the per-row bit padding of P4.
+        img = (rng.random((5, 13)) > 0.5).astype(float)
+        path = tmp_path / "b4.pbm"
+        write_pbm(img, path, binary=True)
+        assert path.read_bytes()[:2] == b"P4"
+        assert np.array_equal(read_pbm(path), img)
+
+    def test_p4_row_padding_layout(self, tmp_path):
+        img = np.ones((2, 9))
+        path = tmp_path / "pad.pbm"
+        write_pbm(img, path, binary=True)
+        raster = path.read_bytes().split(b"9 2\n", 1)[1]
+        assert len(raster) == 2 * 2  # ceil(9/8) = 2 bytes per row
+
+    def test_p4_raster_byte_count_enforced(self, tmp_path):
+        path = tmp_path / "short.pbm"
+        path.write_bytes(b"P4\n9 2\n\xff\xff\xff")  # needs 4 bytes
+        with pytest.raises(SerializationError, match="raster"):
+            read_pbm(path)
+
+    def test_rejects_non_pbm(self, tmp_path):
+        path = tmp_path / "x.pbm"
+        path.write_text("P2\n1 1\n255\n0\n")
+        with pytest.raises(SerializationError):
+            read_pbm(path)
+
+    def test_rejects_non_binary_digits(self, tmp_path):
+        path = tmp_path / "bad.pbm"
+        path.write_text("P1\n2 1\n0 2\n")
+        with pytest.raises(SerializationError, match="binary"):
+            read_pbm(path)
 
 
 class TestPBM:

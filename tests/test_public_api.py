@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.data",
     "repro.experiments",
     "repro.parallel",
+    "repro.imaging",
     "repro.io",
     "repro.utils",
     "repro.analysis",

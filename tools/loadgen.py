@@ -17,7 +17,11 @@ Usage::
 ``--rate`` is the *total* offered request rate (spread evenly over the
 clients).  ``--dim`` must match the served model (default: the paper's
 16); the generator pre-builds a deterministic request pool so the hot
-loop does no RNG work.
+loop does no RNG work.  ``--payload image`` fills the pool with real
+tile-coefficient vectors from the :mod:`repro.imaging` front-end
+(tile side ``sqrt(dim)``, DCT + quantization over a synthetic
+grayscale scene) instead of the default abs-normal noise — the vector
+statistics a codec serving the image pipeline actually sees.
 
 The module is importable (``run_load``) — ``benchmarks/bench_frontend.py``
 reuses it so the CI gate and the operator tool measure identically.
@@ -136,6 +140,51 @@ async def _client_task(
         await client.close()
 
 
+PAYLOADS = ("random", "image")
+
+
+def build_request_pool(
+    payload: str, dim: int, seed: int, size: int = 256
+) -> np.ndarray:
+    """The deterministic ``(size, dim)`` request pool for one load run.
+
+    ``"random"`` is the abs-normal noise the serving benchmarks always
+    used; ``"image"`` runs a synthetic grayscale scene through the
+    imaging front half (:func:`repro.imaging.tile_magnitudes`) and
+    serves the resulting tile-coefficient magnitude vectors.
+    """
+    rng = np.random.default_rng(seed)
+    if payload == "random":
+        return np.abs(rng.normal(size=(size, dim))) + 0.05
+    if payload != "image":
+        raise ValueError(f"payload must be one of {PAYLOADS}, got {payload!r}")
+    import math
+
+    from repro.imaging import tile_magnitudes
+
+    tile = math.isqrt(dim)
+    if tile * tile != dim:
+        raise ValueError(
+            f"--payload image needs a square tile: dim {dim} is not a "
+            f"perfect square"
+        )
+    # Enough tiles to fill the pool: smooth ramps + texture, like the
+    # blocks of a real photograph (smooth regions dominating, some
+    # high-frequency content).
+    side = tile * math.isqrt(-(-size // 1))  # tile * ceil(sqrt(size))
+    while (side // tile) ** 2 < size:
+        side += tile
+    yy, xx = np.meshgrid(
+        np.linspace(0.0, 1.0, side), np.linspace(0.0, 1.0, side),
+        indexing="ij",
+    )
+    scene = 0.55 * yy + 0.25 * np.sin(7.0 * np.pi * xx) ** 2
+    scene += 0.2 * rng.random((side, side))
+    scene = np.clip(scene, 0.0, 1.0)
+    prep = tile_magnitudes(scene, tile_size=tile, transform="dct")
+    return prep.magnitudes[:size]
+
+
 async def run_load(
     host: str,
     port: int,
@@ -145,12 +194,12 @@ async def run_load(
     deadline_ms: int = 0,
     dim: int = 16,
     seed: int = 7,
+    payload: str = "random",
 ) -> Dict:
     """Run one open-loop load phase; returns the summary dict."""
     if clients < 1 or rate <= 0 or duration <= 0:
         raise ValueError("need clients >= 1, rate > 0, duration > 0")
-    rng = np.random.default_rng(seed)
-    pool = np.abs(rng.normal(size=(256, dim))) + 0.05
+    pool = build_request_pool(payload, dim, seed)
     per_client = rate / clients
     total = max(1, int(round(per_client * duration)))
     result = LoadResult()
@@ -183,6 +232,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="per-request deadline budget (0 = none)")
     parser.add_argument("--dim", type=int, default=16,
                         help="request vector length (must match the model)")
+    parser.add_argument("--payload", choices=PAYLOADS, default="random",
+                        help="request pool contents: 'random' abs-normal "
+                             "noise, or 'image' tile-coefficient vectors "
+                             "from the repro.imaging front half")
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--json", type=str, default=None,
                         help="write the summary JSON to this file")
@@ -197,6 +250,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         deadline_ms=args.deadline_ms,
         dim=args.dim,
         seed=args.seed,
+        payload=args.payload,
     ))
     print(json.dumps(summary, indent=2, sort_keys=True))
     if args.json:
