@@ -13,10 +13,14 @@ This package separates network *structure* from *execution*:
 - :mod:`repro.backends.jit` — the gate loop compiled to machine code with
   numba ``@njit(cache=True)`` kernels (``"numba"``; soft dependency —
   registers always, raises a clear error at construction without numba);
+- :mod:`repro.backends.jax` — the program lowered to XLA (``"jax"``): a
+  scanned Givens sweep folds the unitary, batches run through a
+  ``vmap``-ped contraction, and the adjoint tape/sweep pair is jitted;
+  soft dependency gated exactly like numba;
 - :mod:`repro.backends.sharded` — wide batches column-scattered over a
   persistent multi-process :class:`~repro.parallel.pool.WorkerPool`
-  (``"sharded"`` / ``"sharded:K"`` / ``"sharded:K:numba"``), in-process
-  delegate fallback for narrow ones;
+  (``"sharded"`` / ``"sharded:K"`` / ``"sharded:K:numba"`` /
+  ``"sharded:K:jax"``), in-process delegate fallback for narrow ones;
 - :mod:`repro.backends.cached` — :class:`PrefixSuffixWorkspace`, the
   ``O(P)``-gate-work engine behind cached ``fd``/``central``/
   ``derivative`` gradients.
@@ -37,12 +41,14 @@ True
 from repro.backends.base import (
     Backend,
     available_backends,
+    backend_status,
     make_backend,
     register_backend,
     validate_backend_name,
 )
 from repro.backends.cached import PrefixSuffixWorkspace
 from repro.backends.fused import FusedBackend
+from repro.backends.jax import JaxBackend, JAX_AVAILABLE
 from repro.backends.jit import JitBackend, NUMBA_AVAILABLE
 from repro.backends.loop import LoopBackend
 from repro.backends.program import GateProgram, compile_program
@@ -53,6 +59,7 @@ __all__ = [
     "GateProgram",
     "compile_program",
     "available_backends",
+    "backend_status",
     "make_backend",
     "register_backend",
     "validate_backend_name",
@@ -60,6 +67,8 @@ __all__ = [
     "FusedBackend",
     "JitBackend",
     "NUMBA_AVAILABLE",
+    "JaxBackend",
+    "JAX_AVAILABLE",
     "ShardedBackend",
     "PrefixSuffixWorkspace",
 ]

@@ -7,7 +7,7 @@ backend and notifies it via :meth:`Backend.invalidate` when parameters
 change, so backends may cache parameter-derived artefacts (fused unitaries,
 prefix/suffix products) between calls.
 
-Four backends ship with the package:
+Five backends ship with the package:
 
 ``"loop"``
     :class:`~repro.backends.loop.LoopBackend` — the bit-exact reference:
@@ -23,13 +23,20 @@ Four backends ship with the package:
     program directly (forward, inverse, tape, adjoint sweep).  Soft
     dependency: registers unconditionally but raises a clear
     :class:`BackendError` at construction when numba is not installed.
+``"jax"``
+    :class:`~repro.backends.jax.JaxBackend` — the program lowered to
+    XLA: a ``jax.lax.scan``-ned Givens sweep folds the unitary once per
+    parameter set, batches go through a ``vmap``-ped contraction, and
+    the adjoint tape/sweep pair runs jitted (float64 via
+    ``jax_enable_x64``).  Soft dependency like numba: always
+    registered, clear :class:`BackendError` install hint without jax.
 ``"sharded"``
     :class:`~repro.backends.sharded.ShardedBackend` — scatters wide
     ``(N, M)`` batches over a persistent multi-process
     :class:`~repro.parallel.pool.WorkerPool` in column shards, one fused
     GEMM per worker; small batches fall through to an in-process delegate
-    (fused by default, ``"sharded:K:numba"`` selects the jitted backend
-    for workers and delegate alike).
+    (fused by default, ``"sharded:K:numba"`` / ``"sharded:K:jax"``
+    select the jitted backends for workers and delegate alike).
 
 Select a backend at construction (``QuantumNetwork(..., backend="fused")``)
 or later via ``set_backend``; experiment configs and the CLI expose the same
@@ -55,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Backend",
     "available_backends",
+    "backend_status",
     "make_backend",
     "register_backend",
     "validate_backend_name",
@@ -78,9 +86,26 @@ class Backend(abc.ABC):
     #: Whether the backend provides compiled adjoint kernels — an
     #: ``adjoint_tape(inputs) -> (output, row_tape)`` / ``adjoint_sweep
     #: (tape, lam) -> grad`` pair the adjoint gradient method drives
-    #: instead of its numpy vectorised sweep (the ``"numba"`` backend
-    #: sets this).
+    #: instead of its numpy vectorised sweep (the ``"numba"`` and
+    #: ``"jax"`` backends set this).
     supports_adjoint_kernels: bool = False
+
+    #: How to install the backend's optional dependency, or ``None``
+    #: for backends with no soft dependency.  Surfaced by
+    #: :func:`backend_status` and the ``repro backends`` CLI.
+    install_hint: Optional[str] = None
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether constructing this backend can succeed *right now*.
+
+        Registration is availability-independent (see
+        :func:`available_backends`); soft-dependency backends override
+        this with their import probe so tooling (the ``repro backends``
+        subcommand) can report missing extras without triggering the
+        construction-time :class:`BackendError`.
+        """
+        return True
 
     def __init__(self) -> None:
         self._network: Optional["QuantumNetwork"] = None
@@ -227,9 +252,32 @@ def available_backends() -> List[str]:
     Examples
     --------
     >>> available_backends()
-    ['fused', 'loop', 'numba', 'sharded']
+    ['fused', 'jax', 'loop', 'numba', 'sharded']
     """
     return sorted(_REGISTRY)
+
+
+def backend_status() -> Dict[str, Dict[str, Optional[str]]]:
+    """Availability report for every registered backend.
+
+    Maps each registry name to ``{"available": bool, "hint": ...}``
+    where ``hint`` is the backend's install hint (``None`` for backends
+    with no soft dependency).  This is what the ``repro backends``
+    subcommand prints — missing soft deps surface here instead of as a
+    run-time :class:`BackendError`.
+
+    Examples
+    --------
+    >>> status = backend_status()
+    >>> sorted(status) == available_backends()
+    True
+    >>> status["loop"]["available"], status["loop"]["hint"]
+    (True, None)
+    """
+    return {
+        name: {"available": cls.is_available(), "hint": cls.install_hint}
+        for name, cls in _REGISTRY.items()
+    }
 
 
 def _resolve_spec_string(spec: str, error_cls: Type[Exception]) -> Backend:
@@ -276,7 +324,7 @@ def make_backend(spec: Union[str, Backend, Type[Backend]]) -> Backend:
     Traceback (most recent call last):
         ...
     repro.exceptions.BackendError: unknown backend 'quantum-annealer'; \
-available: ['fused', 'loop', 'numba', 'sharded']
+available: ['fused', 'jax', 'loop', 'numba', 'sharded']
     >>> make_backend("loop:3")
     Traceback (most recent call last):
         ...

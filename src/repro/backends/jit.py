@@ -160,6 +160,13 @@ class JitBackend(Backend):
     name = "numba"
     supports_cached_gradients = True
     supports_adjoint_kernels = True
+    install_hint = (
+        "pip install numba (or the requirements-ci-numba.txt extras)"
+    )
+
+    @classmethod
+    def is_available(cls) -> bool:
+        return NUMBA_AVAILABLE
 
     def __init__(self) -> None:
         if not NUMBA_AVAILABLE:

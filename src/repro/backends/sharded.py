@@ -27,8 +27,9 @@ the :class:`~repro.backends.base.Backend` protocol on top of
 
 Registry spellings: ``"sharded"`` (affinity-derived worker count,
 fused delegate), ``"sharded:K"`` (exactly ``K`` workers) and
-``"sharded[:K]:numba"`` / ``"sharded[:K]:fused"`` (explicit delegate;
-the worker count and delegate may appear in either order), accepted
+``"sharded[:K]:numba"`` / ``"sharded[:K]:jax"`` / ``"sharded[:K]:fused"``
+(explicit delegate; the worker count and delegate may appear in either
+order), accepted
 everywhere a backend name is (``QuantumNetwork(...,
 backend="sharded:4")``, ``CodecSpec``, ``Trainer``, ``--backend
 sharded:4:numba``).
@@ -51,8 +52,8 @@ __all__ = ["ShardedBackend"]
 DEFAULT_MIN_SHARD_COLUMNS = 1024
 
 #: In-process backends a shard worker (and the narrow-batch fallback)
-#: may run; both compile the program once and serve gradient workspaces.
-SHARD_DELEGATES = ("fused", "numba")
+#: may run; all compile the program once and serve gradient workspaces.
+SHARD_DELEGATES = ("fused", "numba", "jax")
 
 
 # ----------------------------------------------------------------------
@@ -146,8 +147,9 @@ class ShardedBackend(Backend):
     delegate:
         In-process backend for narrow batches and gradient workspaces,
         and the backend each worker compiles for its shards —
-        ``"fused"`` (default) or ``"numba"``.  Selecting ``"numba"``
-        without numba installed raises here, in the parent process.
+        ``"fused"`` (default), ``"numba"`` or ``"jax"``.  Selecting a
+        soft-dependency delegate without its package installed raises
+        here, in the parent process.
 
     Examples
     --------
@@ -202,7 +204,8 @@ class ShardedBackend(Backend):
 
         ``arg`` is everything after the first colon, itself
         colon-separated: at most one integer worker count and at most
-        one delegate name (``fused``/``numba``), in either order —
+        one delegate name (``fused``/``numba``/``jax``), in either
+        order —
         ``"sharded:4"``, ``"sharded:numba"``, ``"sharded:4:numba"`` and
         ``"sharded:numba:4"`` all parse.
         """
@@ -336,7 +339,8 @@ class ShardedBackend(Backend):
     @property
     def supports_adjoint_kernels(self) -> bool:  # type: ignore[override]
         """Adjoint kernels come from the delegate: ``sharded[:K]:numba``
-        serves the fully jitted tape/sweep pair, fused delegates do not."""
+        and ``sharded[:K]:jax`` serve fully jitted tape/sweep pairs,
+        fused delegates do not."""
         return self._local.supports_adjoint_kernels
 
     def adjoint_tape(self, data: np.ndarray):

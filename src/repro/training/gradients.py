@@ -542,11 +542,12 @@ def _adjoint_jit(
 ) -> Tuple[float, np.ndarray]:
     """Compiled adjoint: jitted tape-recording forward + jitted sweep.
 
-    Drives the ``numba`` backend's kernel pair
+    Drives a backend's compiled kernel pair — the ``numba`` backend's
     (:meth:`~repro.backends.jit.JitBackend.adjoint_tape` /
-    :meth:`~repro.backends.jit.JitBackend.adjoint_sweep`) — the whole
-    ``O(P M)`` tape and backward walk run in machine code; only the loss
-    and its adjoint are evaluated in numpy.
+    :meth:`~repro.backends.jit.JitBackend.adjoint_sweep`) or the
+    ``jax`` backend's scanned equivalents — so the whole ``O(P M)``
+    tape and backward walk run in machine code; only the loss and its
+    adjoint are evaluated in numpy.
     """
     out, tape = backend.adjoint_tape(inputs)
     base, lam = _adjoint_loss_and_lambda(
@@ -577,8 +578,9 @@ def _loss_and_grad_adjoint(
 
     - ``engine="looped"`` — the per-gate Python walk below, the
       bit-exact reference;
-    - ``engine="batched"`` (default) on the ``numba`` backend — the
-      jitted tape/sweep kernel pair (:func:`_adjoint_jit`);
+    - ``engine="batched"`` (default) on the ``numba`` or ``jax``
+      backends — the jitted tape/sweep kernel pair
+      (:func:`_adjoint_jit`);
     - ``engine="batched"`` elsewhere — the numpy vectorised sweep
       (:func:`_adjoint_vectorized`), stacked per-layer GEMMs via the
       prefix/suffix workspace's cross-layer recurrence.

@@ -315,6 +315,9 @@ class Trainer:
 
         self.parallel = validate_parallel_spec(parallel, TrainingError)
         self._reducer = None
+        # Fused jax train steps, keyed per (network, optimizer) pair for
+        # the duration of one train() call — see _fused_step_for.
+        self._fused_steps: dict = {}
         # Eq. (7) defines the gradient on the *sum* loss (no normalisation);
         # Algorithm 1's pseudo-code divides by M*N, but with eta = 0.01 that
         # normalised form cannot reach the near-zero losses Fig. 4c shows in
@@ -358,6 +361,7 @@ class Trainer:
             else None
         )
         self._reducer = reducer
+        self._fused_steps = {}
         try:
             if self.schedule == "joint":
                 history = self._train_joint(
@@ -369,6 +373,7 @@ class Trainer:
                 )
         finally:
             self._reducer = None
+            self._fused_steps = {}
             if reducer is not None:
                 reducer.close()
         out = autoencoder.forward_encoded(encoded)
@@ -393,6 +398,34 @@ class Trainer:
             return float(encoded.dim * encoded.num_samples)
         return 1.0
 
+    def _fused_step_for(self, network, optimizer, projection):
+        """The fused jax train step for this (network, optimizer), or
+        ``None`` when any piece rules it out.
+
+        Only the ``adjoint`` method under the default/batched engine on
+        the ``jax`` backend qualifies (and never under a gradient
+        reducer — shard workers run the generic path).  The decision is
+        cached per pair for the duration of one ``train()`` call; the
+        step objects hold strong references, so the ``id`` keys stay
+        valid.  A ``False`` entry records an ineligible pair.
+        """
+        if (
+            self._reducer is not None
+            or self.gradient_method != "adjoint"
+            or self.grad_engine not in (None, "batched")
+        ):
+            return None
+        key = (id(network), id(optimizer))
+        step = self._fused_steps.get(key)
+        if step is None:
+            from repro.training.jax_step import maybe_fused_step
+
+            step = maybe_fused_step(
+                network, optimizer, projection, self._update_loss
+            )
+            self._fused_steps[key] = step if step is not None else False
+        return step or None
+
     def _grad_step(
         self,
         network: QuantumNetwork,
@@ -401,6 +434,9 @@ class Trainer:
         targets: np.ndarray,
         projection,
     ) -> tuple[float, float]:
+        fused = self._fused_step_for(network, optimizer, projection)
+        if fused is not None:
+            return fused.run(inputs, targets)
         if self._reducer is not None:
             loss_val, grad = self._reducer.loss_and_gradient(
                 network,

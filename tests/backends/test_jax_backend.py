@@ -1,0 +1,282 @@
+"""The ``jax`` XLA backend: registry, soft gating, equivalence.
+
+The registry and error-path tests run on every host; the execution and
+gradient tests need the optional jax package and *skip cleanly* without
+it (the jax-free CI legs prove the soft-dependency gating, the jax leg
+proves the kernels).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import (
+    JAX_AVAILABLE,
+    JaxBackend,
+    available_backends,
+    backend_status,
+    make_backend,
+)
+from repro.backends import jax as jax_mod
+from repro.backends.sharded import ShardedBackend
+from repro.exceptions import BackendError, GateError, NetworkConfigError
+from repro.network.quantum_network import QuantumNetwork
+from repro.training.gradients import loss_and_gradient
+
+needs_jax = pytest.mark.skipif(
+    not JAX_AVAILABLE, reason="optional jax package not installed"
+)
+
+
+def make_network(dim, layers, descending=False, allow_phase=False, seed=11,
+                 backend="loop"):
+    rng = np.random.default_rng(seed)
+    net = QuantumNetwork(
+        dim, layers, descending=descending, allow_phase=allow_phase,
+        backend=backend,
+    ).initialize("uniform", rng=rng)
+    if allow_phase:
+        params = net.get_flat_params()
+        params[net.num_thetas :] = 0.4 * rng.normal(size=net.num_thetas)
+        net.set_flat_params(params)
+    return net
+
+
+def batch(dim, m=6, complex_=False, seed=5):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(dim, m))
+    if complex_:
+        x = x + 1j * rng.normal(size=(dim, m))
+    return x / np.linalg.norm(x, axis=0)
+
+
+# ----------------------------------------------------------------------
+# registry / soft-dependency gating (runs with and without jax)
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_always_registered(self):
+        assert "jax" in available_backends()
+
+    def test_rejects_spec_argument(self):
+        with pytest.raises(BackendError, match="takes no ':' argument"):
+            make_backend("jax:gpu")
+
+    def test_missing_jax_message(self, monkeypatch):
+        """Without jax, construction fails with an install hint."""
+        monkeypatch.setattr(jax_mod, "JAX_AVAILABLE", False)
+        with pytest.raises(BackendError, match="pip install jax"):
+            JaxBackend()
+
+    def test_status_reports_availability(self):
+        status = backend_status()
+        assert status["jax"]["available"] is JAX_AVAILABLE
+        assert "jax" in status["jax"]["hint"]
+
+    def test_jax_not_imported_at_package_import(self):
+        """Availability is probed with find_spec — merely importing the
+        backends package must not pay the jax/XLA startup cost."""
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = str(pathlib.Path(__file__).parents[2] / "src")
+        env["PYTHONPATH"] = src
+        code = (
+            "import sys; import repro.backends; "
+            "sys.exit(1 if 'jax' in sys.modules else 0)"
+        )
+        proc = subprocess.run([sys.executable, "-c", code], env=env)
+        assert proc.returncode == 0
+
+    @pytest.mark.skipif(JAX_AVAILABLE, reason="jax is installed")
+    def test_selecting_jax_without_jax(self):
+        """`make_backend("jax")` names the missing dependency, and the
+        spec layer rejects it at validation time (not first use)."""
+        from repro.api.spec import CodecSpec
+
+        with pytest.raises(BackendError, match="jax"):
+            make_backend("jax")
+        with pytest.raises(NetworkConfigError, match="jax"):
+            CodecSpec(backend="jax")
+        with pytest.raises(BackendError, match="jax"):
+            make_backend("sharded:2:jax")
+
+
+class TestShardedDelegateSpec:
+    def test_jax_listed_as_delegate(self):
+        from repro.backends.sharded import SHARD_DELEGATES
+
+        assert "jax" in SHARD_DELEGATES
+
+    @needs_jax
+    def test_jax_delegate_parses(self):
+        b = ShardedBackend.from_spec("2:jax")
+        assert b.delegate_name == "jax"
+        assert b.worker_count == 2
+        assert b.spawn().delegate_name == "jax"
+
+    @needs_jax
+    def test_jax_delegate_serves_adjoint_kernels(self):
+        """sharded[:K]:jax routes the jitted adjoint through its
+        delegate (the docs/gradients.md backend-matrix row)."""
+        net = QuantumNetwork(
+            5, 3, backend=ShardedBackend(num_workers=1, delegate="jax")
+        ).initialize("uniform", rng=np.random.default_rng(4))
+        assert net.backend.supports_adjoint_kernels is True
+        ref = net.copy().set_backend("loop")
+        x, t = batch(5), batch(5, seed=9)
+        _, g1 = loss_and_gradient(ref, x, t, method="adjoint",
+                                  engine="looped")
+        _, g2 = loss_and_gradient(net, x, t, method="adjoint",
+                                  engine="batched")
+        assert np.max(np.abs(g1 - g2)) < 1e-10
+
+
+# ----------------------------------------------------------------------
+# execution equivalence (jax only)
+# ----------------------------------------------------------------------
+@needs_jax
+@settings(max_examples=25, deadline=None)
+@given(
+    dim=st.integers(min_value=2, max_value=9),
+    layers=st.integers(min_value=1, max_value=4),
+    descending=st.booleans(),
+    allow_phase=st.booleans(),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_jax_matches_loop_and_fused(dim, layers, descending, allow_phase,
+                                    seed):
+    """Property: random networks agree with loop/fused to bit tolerance."""
+    loop = make_network(dim, layers, descending, allow_phase, seed)
+    xla = loop.copy().set_backend("jax")
+    fused = loop.copy().set_backend("fused")
+    x = batch(dim, complex_=allow_phase, seed=seed % 97)
+    for inverse in (False, True):
+        ref = loop.forward(x, inverse=inverse)
+        assert np.allclose(
+            xla.forward(x, inverse=inverse), ref, atol=1e-10
+        )
+        assert np.allclose(
+            fused.forward(x, inverse=inverse), ref, atol=1e-10
+        )
+
+
+@needs_jax
+class TestJaxExecution:
+    def test_roundtrip(self):
+        net = make_network(6, 3, backend="jax")
+        x = batch(6)
+        assert np.allclose(net.forward(net.forward(x), inverse=True), x)
+
+    def test_complex_input_on_real_network(self):
+        net = make_network(5, 2, backend="jax")
+        ref = make_network(5, 2, backend="loop")
+        x = batch(5, complex_=True)
+        assert np.allclose(net.forward(x), ref.forward(x), atol=1e-10)
+
+    def test_phase_requires_complex_batch(self):
+        net = make_network(4, 2, allow_phase=True, backend="jax")
+        with pytest.raises(GateError, match="complex state batch"):
+            net.forward(batch(4))
+
+    def test_set_flat_params_invalidates(self):
+        net = make_network(4, 2, backend="jax")
+        x = batch(4)
+        before = net.forward(x)
+        params = net.get_flat_params()
+        net.set_flat_params(params + 0.1)
+        after = net.forward(x)
+        assert not np.allclose(before, after)
+        ref = make_network(4, 2, backend="loop")
+        ref.set_flat_params(params + 0.1)
+        assert np.allclose(after, ref.forward(x), atol=1e-10)
+
+    def test_zero_phase_network_takes_real_kernel(self):
+        """allow_phase with all alphas zero runs the phase-free sweep."""
+        net = QuantumNetwork(4, 2, allow_phase=True, backend="jax")
+        rng = np.random.default_rng(0)
+        params = net.get_flat_params()
+        params[: net.num_thetas] = rng.normal(size=net.num_thetas)
+        net.set_flat_params(params)
+        ref = QuantumNetwork(4, 2, allow_phase=True, backend="loop")
+        ref.set_flat_params(params)
+        x = batch(4, complex_=True)
+        assert np.allclose(net.forward(x), ref.forward(x), atol=1e-10)
+
+    def test_x64_enabled(self):
+        """The kernels run in float64 (the ~1e-10 gates need it)."""
+        make_network(3, 1, backend="jax")
+        from repro.backends.jax_kernels import jax_modules
+
+        jax, _ = jax_modules()
+        assert jax.config.jax_enable_x64 is True
+
+    def test_sharded_jax_delegate_forward(self):
+        """Narrow batches on sharded:jax run the in-process XLA path."""
+        net = QuantumNetwork(
+            5, 3, backend=ShardedBackend(num_workers=1, delegate="jax")
+        ).initialize("uniform", rng=np.random.default_rng(4))
+        ref = net.copy().set_backend("fused")
+        x = batch(5)
+        assert np.allclose(net.forward(x), ref.forward(x), atol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# jitted adjoint tape/sweep (jax only)
+# ----------------------------------------------------------------------
+@needs_jax
+class TestJaxAdjoint:
+    def test_tape_matches_forward_trace(self):
+        for allow_phase in (False, True):
+            net = make_network(5, 3, allow_phase=allow_phase, backend="jax")
+            x = batch(5, complex_=allow_phase)
+            out, tape = net.backend.adjoint_tape(x)
+            trace = net.copy().set_backend("loop").forward_trace(
+                x.astype(out.dtype)
+            )
+            assert np.allclose(out, trace.output, atol=1e-10)
+            assert np.allclose(np.asarray(tape), trace.row_tape, atol=1e-10)
+
+    @pytest.mark.parametrize("descending", [False, True])
+    @pytest.mark.parametrize("allow_phase", [False, True])
+    def test_adjoint_gradient_matches_reference(self, descending,
+                                                allow_phase):
+        net = make_network(
+            6, 3, descending=descending, allow_phase=allow_phase,
+            backend="jax",
+        )
+        ref = net.copy().set_backend("loop")
+        x = batch(6, complex_=allow_phase)
+        t = batch(6, complex_=allow_phase, seed=9)
+        l1, g1 = loss_and_gradient(
+            ref, x, t, method="adjoint", engine="looped"
+        )
+        l2, g2 = loss_and_gradient(
+            net, x, t, method="adjoint", engine="batched"
+        )
+        assert l1 == pytest.approx(l2, abs=1e-10)
+        assert np.max(np.abs(g1 - g2)) < 1e-10
+
+    def test_adjoint_gradient_complex_inputs_real_network(self):
+        net = make_network(5, 2, backend="jax")
+        ref = net.copy().set_backend("loop")
+        x = batch(5, complex_=True)
+        t = batch(5, complex_=True, seed=9)
+        _, g1 = loss_and_gradient(ref, x, t, method="adjoint",
+                                  engine="looped")
+        _, g2 = loss_and_gradient(net, x, t, method="adjoint",
+                                  engine="batched")
+        assert np.max(np.abs(g1 - g2)) < 1e-10
+
+    def test_workspace_methods_served(self):
+        """fd/central/derivative ride the prefix/suffix workspace."""
+        net = make_network(5, 2, backend="jax")
+        ref = net.copy().set_backend("fused")
+        x, t = batch(5), batch(5, seed=9)
+        for method in ("fd", "central", "derivative"):
+            _, g1 = loss_and_gradient(net, x, t, method=method)
+            _, g2 = loss_and_gradient(ref, x, t, method=method)
+            assert np.max(np.abs(g1 - g2)) < 1e-9

@@ -1,0 +1,233 @@
+"""The fused one-``jax.jit`` train step: eligibility and exact parity.
+
+Eligibility logic is pure python and runs on every host; the parity
+tests (fused step vs the generic adjoint path, iteration for iteration)
+need the optional jax package and skip cleanly without it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backends import JAX_AVAILABLE
+from repro.network.autoencoder import QuantumAutoencoder
+from repro.training.jax_step import (
+    fused_train_step_supported,
+    maybe_fused_step,
+)
+from repro.training.loss import FidelityLoss, SquaredErrorLoss
+from repro.training.optimizers import (
+    Adam,
+    ConstantSchedule,
+    ExponentialDecay,
+    GradientDescent,
+    MomentumGD,
+)
+from repro.training.trainer import Trainer
+
+needs_jax = pytest.mark.skipif(
+    not JAX_AVAILABLE, reason="optional jax package not installed"
+)
+
+
+def make_ae(backend, seed=3, allow_phase=False):
+    return QuantumAutoencoder(
+        8, 4, 3, 3, allow_phase=allow_phase, backend=backend
+    ).initialize(rng=np.random.default_rng(seed))
+
+
+def dataset(m=5, n=8, seed=7):
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.normal(size=(m, n))) + 0.1
+
+
+# ----------------------------------------------------------------------
+# eligibility (runs with and without jax)
+# ----------------------------------------------------------------------
+class TestSupported:
+    def test_plain_optimizers_supported(self):
+        assert fused_train_step_supported(GradientDescent(0.01))
+        assert fused_train_step_supported(MomentumGD(0.01, momentum=0.9))
+        assert fused_train_step_supported(Adam(0.05))
+
+    def test_schedule_must_be_constant(self):
+        assert not fused_train_step_supported(
+            GradientDescent(ExponentialDecay(0.01))
+        )
+
+    def test_subclass_rejected(self):
+        """An overridden step() would silently change semantics."""
+
+        class Tweaked(Adam):
+            def step(self, params, grad):
+                return params
+
+        assert not fused_train_step_supported(Tweaked(0.01))
+
+    def test_stepped_optimizer_rejected(self):
+        opt = GradientDescent(0.01)
+        opt.step(np.zeros(2), np.zeros(2))
+        assert not fused_train_step_supported(opt)
+
+    def test_non_jax_backend_returns_none(self):
+        ae = make_ae("fused")
+        assert (
+            maybe_fused_step(
+                ae.uc, Adam(0.05), ae.projection, SquaredErrorLoss()
+            )
+            is None
+        )
+
+    @needs_jax
+    def test_non_sq_loss_returns_none(self):
+        ae = make_ae("jax")
+        assert (
+            maybe_fused_step(ae.uc, Adam(0.05), None, FidelityLoss())
+            is None
+        )
+
+    @needs_jax
+    def test_eligible_pair_returns_step(self):
+        ae = make_ae("jax")
+        step = maybe_fused_step(
+            ae.uc, Adam(0.05), ae.projection, SquaredErrorLoss()
+        )
+        assert step is not None
+
+    def test_trainer_falls_back_without_fusion(self):
+        """On non-jax backends training is byte-for-byte the old path."""
+        result = Trainer(
+            iterations=3, gradient_method="adjoint", backend="fused"
+        ).train(make_ae("fused"), dataset())
+        assert result.history.num_iterations == 3
+
+
+# ----------------------------------------------------------------------
+# parity (jax only): the fused step IS the generic trajectory
+# ----------------------------------------------------------------------
+@needs_jax
+class TestParity:
+    def _run(self, backend, opt_factory, **kwargs):
+        trainer = Trainer(
+            iterations=6,
+            gradient_method="adjoint",
+            optimizer_factory=opt_factory,
+            backend=backend,
+            **kwargs,
+        )
+        return trainer.train(make_ae(backend), dataset())
+
+    @pytest.mark.parametrize(
+        "opt_factory",
+        [
+            lambda: GradientDescent(0.05),
+            lambda: MomentumGD(0.05, momentum=0.9),
+            lambda: Adam(0.05),
+        ],
+        ids=["gd", "momentum", "adam"],
+    )
+    def test_trajectory_matches_generic_path(self, opt_factory):
+        fused = self._run("fused", opt_factory)
+        jaxed = self._run("jax", opt_factory)
+        np.testing.assert_allclose(
+            np.asarray(jaxed.history.loss_c),
+            np.asarray(fused.history.loss_c),
+            rtol=0, atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            np.asarray(jaxed.history.loss_r),
+            np.asarray(fused.history.loss_r),
+            rtol=0, atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            jaxed.autoencoder.uc.get_flat_params(),
+            fused.autoencoder.uc.get_flat_params(),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_mean_reduction_matches(self):
+        fused = self._run(
+            "fused", lambda: Adam(0.05), update_reduction="mean"
+        )
+        jaxed = self._run(
+            "jax", lambda: Adam(0.05), update_reduction="mean"
+        )
+        np.testing.assert_allclose(
+            np.asarray(jaxed.history.loss_r),
+            np.asarray(fused.history.loss_r),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_allow_phase_trajectory_matches(self):
+        ae_f = make_ae("fused", allow_phase=True)
+        ae_j = make_ae("jax", allow_phase=True)
+        X = dataset()
+        t_f = Trainer(iterations=4, gradient_method="adjoint",
+                      optimizer_factory=lambda: Adam(0.05)).train(ae_f, X)
+        t_j = Trainer(iterations=4, gradient_method="adjoint",
+                      optimizer_factory=lambda: Adam(0.05)).train(ae_j, X)
+        np.testing.assert_allclose(
+            ae_j.uc.get_flat_params(), ae_f.uc.get_flat_params(),
+            rtol=0, atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            np.asarray(t_j.history.loss_r),
+            np.asarray(t_f.history.loss_r),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_grad_norm_series_matches(self):
+        fused = self._run("fused", lambda: GradientDescent(0.05))
+        jaxed = self._run("jax", lambda: GradientDescent(0.05))
+        np.testing.assert_allclose(
+            np.asarray(jaxed.history.grad_norm_c),
+            np.asarray(fused.history.grad_norm_c),
+            rtol=0, atol=1e-9,
+        )
+
+    def test_optimizer_t_advances(self):
+        opts = []
+
+        def factory():
+            opt = Adam(0.05)
+            opts.append(opt)
+            return opt
+
+        self._run("jax", factory)
+        assert all(opt.t == 6 for opt in opts)
+
+
+@needs_jax
+class TestGradients:
+    def test_loss_and_grad_matches_engine(self):
+        from repro.training.gradients import loss_and_gradient
+
+        ae = make_ae("jax")
+        step = maybe_fused_step(
+            ae.uc, Adam(0.05), ae.projection, SquaredErrorLoss()
+        )
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(8, 5))
+        x /= np.linalg.norm(x, axis=0)
+        t = ae.projection.apply(x)
+        l1, g1 = step.loss_and_grad(x, t)
+        l2, g2 = loss_and_gradient(
+            ae.uc, x, t, projection=ae.projection, method="adjoint"
+        )
+        assert l1 == pytest.approx(l2, abs=1e-10)
+        assert np.max(np.abs(g1 - g2)) < 1e-10
+
+    def test_autodiff_matches_adjoint(self):
+        """jax.grad through the scan agrees with our adjoint tape."""
+        for allow_phase in (False, True):
+            ae = make_ae("jax", allow_phase=allow_phase)
+            step = maybe_fused_step(
+                ae.uc, Adam(0.05), ae.projection, SquaredErrorLoss()
+            )
+            rng = np.random.default_rng(2)
+            x = rng.normal(size=(8, 5))
+            x /= np.linalg.norm(x, axis=0)
+            t = ae.projection.apply(x)
+            l1, g1 = step.loss_and_grad(x, t)
+            l2, g2 = step.loss_and_grad_autodiff(x, t)
+            assert l1 == pytest.approx(l2, abs=1e-10)
+            assert np.max(np.abs(g1 - g2)) < 1e-8

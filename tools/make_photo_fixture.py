@@ -1,0 +1,97 @@
+"""Generate the committed photograph fixture for the imaging benchmark.
+
+``benchmarks/bench_imaging.py`` gates the RD/PSNR contracts on two
+inputs: the synthetic ramp-and-texture scene and a *photograph-like*
+image with the second-order statistics of a natural photo.  The
+container has no network access and no image libraries beyond the
+in-repo PGM codec, so the fixture is synthesized here from the three
+properties that distinguish photographs from procedural test patterns
+(Ruderman, "The statistics of natural images", 1994):
+
+- a ``1/f``-law amplitude spectrum (random-phase pink noise, the
+  cloud-like base texture every natural scene shares);
+- strong oriented edges — a soft horizon step and an occluding disc —
+  whose heavy-tailed wavelet marginals pure pink noise lacks;
+- global illumination structure: a corner-to-corner lighting gradient,
+  lens vignetting, and faint sensor grain.
+
+The output is byte-for-byte deterministic (fixed seed, fixed numpy
+ops), so re-running this script reproduces the committed file exactly:
+
+    PYTHONPATH=src python tools/make_photo_fixture.py \
+        [benchmarks/data/photo.pgm]
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.io.image_io import write_pgm
+
+SIZE = 96          # matches the benchmark's TEST_SIZE; divisible by TILE
+SEED = 20240917    # fixed forever: the committed bytes depend on it
+SPECTRAL_SLOPE = 1.1   # amplitude ~ 1/f**slope (natural images: ~1.0-1.2)
+DEFAULT_PATH = os.path.join("benchmarks", "data", "photo.pgm")
+
+
+def _pink_noise(rng: np.random.Generator, size: int) -> np.ndarray:
+    """Random-phase noise with a 1/f**slope amplitude spectrum,
+    normalized to zero mean and unit variance."""
+    fy = np.fft.fftfreq(size)[:, None]
+    fx = np.fft.fftfreq(size)[None, :]
+    radius = np.hypot(fy, fx)
+    radius[0, 0] = 1.0  # leave DC finite; the mean is removed below
+    amplitude = radius ** -SPECTRAL_SLOPE
+    phase = rng.uniform(0.0, 2.0 * np.pi, size=(size, size))
+    field = np.fft.ifft2(amplitude * np.exp(1j * phase)).real
+    field -= field.mean()
+    return field / field.std()
+
+
+def make_photo(size: int = SIZE, seed: int = SEED) -> np.ndarray:
+    """A deterministic grayscale 'photograph' in [0, 1]."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.meshgrid(
+        np.linspace(0.0, 1.0, size), np.linspace(0.0, 1.0, size),
+        indexing="ij",
+    )
+
+    # Base texture plus a corner-to-corner illumination gradient.
+    image = 0.52 + 0.16 * _pink_noise(rng, size)
+    image += 0.18 * (1.0 - yy) + 0.08 * xx
+
+    # A soft horizon: darker foreground below a slightly tilted edge.
+    horizon = 0.62 + 0.05 * np.sin(2.2 * np.pi * xx) + 0.04 * xx
+    below = 1.0 / (1.0 + np.exp(-(yy - horizon) * size * 1.5))
+    image -= 0.22 * below
+
+    # An occluding bright disc (the classic sun-over-hills silhouette):
+    # a hard curved edge with a 1-pixel soft rim.
+    disc = np.hypot(yy - 0.30, xx - 0.68) - 0.13
+    image += 0.24 / (1.0 + np.exp(disc * size * 2.0))
+
+    # Lens vignetting and sensor grain.
+    radial2 = (yy - 0.5) ** 2 + (xx - 0.5) ** 2
+    image *= 1.0 - 0.45 * radial2
+    image += 0.012 * rng.standard_normal((size, size))
+
+    # Stretch to a photographic tonal range with small head/footroom.
+    image = (image - image.min()) / (image.max() - image.min())
+    return 0.02 + 0.96 * image
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    path = args[0] if args else DEFAULT_PATH
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    write_pgm(make_photo(), path, binary=True)
+    print(f"wrote {SIZE}x{SIZE} P5 fixture to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
