@@ -22,6 +22,11 @@ experiment harness that regenerates each figure and table:
   fig5, table1) plus ablations;
 - :mod:`repro.parallel` — chunked batch execution and multiprocessing
   sweeps;
+- :mod:`repro.noise` — the first-class hardware-noise model:
+  :class:`NoiseModel` (angle jitter, per-gate loss, dephasing,
+  depolarizing, finite shots) with exact density and scalable trajectory
+  execution paths, noise-aware training and degradation curves (see
+  ``docs/noise.md``);
 - :mod:`repro.io` — model/result/image serialisation;
 - :mod:`repro.api` — the unified public surface: :class:`Codec`
   (fit/compress/decompress/save/load) and :class:`InferenceSession`
@@ -60,6 +65,7 @@ from repro.network import (
     UniformSubspaceTarget,
     TruncatedInputTarget,
 )
+from repro.noise import NOISE_PRESETS, NoiseModel
 from repro.simulator import Circuit, QuantumState, StateBatch
 from repro.training import (
     Trainer,
@@ -92,6 +98,8 @@ __all__ = [
     "QuantumNetwork",
     "UniformSubspaceTarget",
     "TruncatedInputTarget",
+    "NOISE_PRESETS",
+    "NoiseModel",
     "Circuit",
     "QuantumState",
     "StateBatch",

@@ -60,11 +60,27 @@ def serve_session(
     return np.stack([f.result(timeout=30.0) for f in futures])
 
 
+def _latency_percentiles(serve_one, requests: np.ndarray) -> Dict:
+    """p50/p99 of per-request wall time (ms) for a single-row server."""
+    lat = np.empty(requests.shape[0], dtype=np.float64)
+    for i, row in enumerate(requests):
+        t0 = time.perf_counter()
+        serve_one(row[None, :])
+        lat[i] = time.perf_counter() - t0
+    lat *= 1e3
+    return {
+        "p50_ms": float(np.percentile(lat, 50)),
+        "p99_ms": float(np.percentile(lat, 99)),
+    }
+
+
 def measure_serving(
     autoencoder: QuantumAutoencoder,
     requests: np.ndarray,
     max_batch_size: int,
     pool=None,
+    noise=None,
+    noise_trajectories: int = 8,
 ) -> Dict:
     """Time both serving paths on the same request stream.
 
@@ -74,6 +90,13 @@ def measure_serving(
     measured pass.  A :class:`~repro.parallel.pool.WorkerPool` is
     attached to both sessions when given (oversized ticks scatter to
     worker shards — see ``docs/sharding.md``).
+
+    When ``noise`` is given (any :meth:`repro.noise.NoiseModel.from_spec`
+    form) the same stream is also served through a noise-emulating
+    session and the report gains the noisy-vs-clean comparison: batch
+    throughput plus per-request latency percentiles (``clean_p50_ms`` /
+    ``clean_p99_ms`` vs ``noisy_p50_ms`` / ``noisy_p99_ms``) and the
+    reconstruction penalty ``noisy_vs_clean_mse``.
     """
     session = InferenceSession(
         autoencoder, max_batch_size=max_batch_size, flush_latency=None,
@@ -97,7 +120,7 @@ def measure_serving(
 
     stats = timed_session.batcher.stats
     num_requests = int(requests.shape[0])
-    return {
+    report = {
         "requests": num_requests,
         "max_batch": int(max_batch_size),
         "eager_seconds": eager_seconds,
@@ -109,3 +132,39 @@ def measure_serving(
         "largest_tick": stats["largest_tick"],
         "session_match_vs_eager": match,
     }
+
+    from repro.noise.model import NoiseModel
+
+    model = NoiseModel.from_spec(noise)
+    if model is None:
+        return report
+    noisy_session = InferenceSession(
+        autoencoder,
+        max_batch_size=max_batch_size,
+        flush_latency=None,
+        pool=pool,
+        noise=model,
+        noise_trajectories=noise_trajectories,
+    )
+    noisy_out = serve_session(noisy_session, requests)
+    t0 = time.perf_counter()
+    serve_session(noisy_session, requests)
+    noisy_seconds = time.perf_counter() - t0
+    clean_lat = _latency_percentiles(session.reconstruct, requests)
+    noisy_lat = _latency_percentiles(noisy_session.reconstruct, requests)
+    report.update(
+        {
+            "noise": model.spec_string(),
+            "noise_trajectories": int(noisy_session.noise_trajectories),
+            "noisy_session_seconds": noisy_seconds,
+            "noisy_req_per_s": num_requests / noisy_seconds,
+            "noisy_vs_clean_mse": float(
+                np.mean((noisy_out - session_out) ** 2)
+            ),
+            "clean_p50_ms": clean_lat["p50_ms"],
+            "clean_p99_ms": clean_lat["p99_ms"],
+            "noisy_p50_ms": noisy_lat["p50_ms"],
+            "noisy_p99_ms": noisy_lat["p99_ms"],
+        }
+    )
+    return report

@@ -280,12 +280,32 @@ class Codec:
             payload.codes, payload.squared_norms
         )
 
-    def evaluate(self, X: np.ndarray) -> dict:
+    def evaluate(
+        self,
+        X: np.ndarray,
+        *,
+        noise=None,
+        noise_trajectories: Optional[int] = None,
+        noise_seed: int = 0,
+        noise_path: str = "trajectory",
+        pool=None,
+    ) -> dict:
         """Round-trip quality metrics of this codec on ``(M, N)`` data.
 
         Returns Eq. 10 accuracy (thresholded and raw), MSE, the Eq. 5
         reconstruction loss and the mean probability mass surviving
         ``P1`` (1 - the paper's compression information loss).
+
+        When ``noise`` is given (anything
+        :meth:`repro.noise.NoiseModel.from_spec` accepts — a preset name,
+        a JSON string, a mapping or a model), the same data is also run
+        through the noisy execution path and the ``noisy_*`` /
+        ``mean_fidelity`` / ``mean_transmission`` keys of
+        :func:`repro.noise.evaluate_noisy` are merged in.
+        ``noise_trajectories`` defaults to the spec's value;
+        ``noise_path`` selects ``"trajectory"`` (default) or the exact
+        ``"density"`` fold; ``pool`` shards trajectory realizations over
+        a :class:`~repro.parallel.WorkerPool`.
         """
         X = np.asarray(X, dtype=np.float64)
         out = self._ae.forward(X)
@@ -293,7 +313,7 @@ class Codec:
             out.encoded.amplitudes(), out.encoded.squared_norms
         )
         loss = SquaredErrorLoss(reduction="sum")
-        return {
+        metrics = {
             "accuracy": paper_accuracy(out.x_hat, reference),
             "pixel_accuracy": pixel_accuracy(out.x_hat, reference),
             "mse": mse(out.x_hat, reference),
@@ -304,6 +324,73 @@ class Codec:
                 np.mean(out.retained_probability)
             ),
         }
+        from repro.noise.model import NoiseModel
+
+        model = NoiseModel.from_spec(noise)
+        if model is not None:
+            from repro.noise.evaluate import evaluate_noisy
+
+            metrics.update(
+                evaluate_noisy(
+                    self._ae,
+                    X,
+                    model,
+                    trajectories=(
+                        noise_trajectories
+                        if noise_trajectories is not None
+                        else self.spec.noise_trajectories
+                    ),
+                    seed=noise_seed,
+                    pool=pool,
+                    path=noise_path,
+                )
+            )
+        return metrics
+
+    def degradation_curve(
+        self,
+        X: np.ndarray,
+        noise=None,
+        *,
+        scales=(0.0, 0.25, 0.5, 0.75, 1.0),
+        noise_trajectories: Optional[int] = None,
+        noise_seed: int = 0,
+        noise_path: str = "trajectory",
+        pool=None,
+    ) -> list:
+        """Graceful-degradation sweep of this codec under scaled noise.
+
+        ``noise`` defaults to the spec's own model and must resolve to a
+        non-ideal :class:`~repro.noise.NoiseModel`; each entry of
+        ``scales`` multiplies its channel strengths (shots kept fixed).
+        Returns the record list of :func:`repro.noise.degradation_curve`.
+        """
+        from repro.exceptions import NoiseError
+        from repro.noise.evaluate import degradation_curve
+        from repro.noise.model import NoiseModel
+
+        model = NoiseModel.from_spec(
+            noise if noise is not None else self.spec.noise
+        )
+        if model is None:
+            raise NoiseError(
+                "degradation_curve needs a noise model: pass noise=... or "
+                "configure the spec with one"
+            )
+        return degradation_curve(
+            self._ae,
+            np.asarray(X, dtype=np.float64),
+            model,
+            scales=scales,
+            trajectories=(
+                noise_trajectories
+                if noise_trajectories is not None
+                else self.spec.noise_trajectories
+            ),
+            seed=noise_seed,
+            pool=pool,
+            path=noise_path,
+        )
 
     # ------------------------------------------------------------------
     # imaging front-end (repro.imaging, wire format v2)

@@ -73,6 +73,17 @@ class InferenceSession:
         through in-process chunks; narrower ticks stay in-process.  The
         pool is borrowed, not owned — the caller controls its lifecycle
         (it may be shared with a ``sharded`` execution backend).
+    noise, noise_trajectories, noise_seed:
+        Optional hardware-noise emulation (anything
+        :meth:`repro.noise.NoiseModel.from_spec` accepts).  When set,
+        ``noise_trajectories`` frozen mesh realizations are folded into
+        dense operator pairs **at construction** (seeded by
+        ``noise_seed``) and :meth:`reconstruct` / :meth:`decompress`
+        average the exact channel probabilities over them, decoding
+        ``sqrt(p)`` magnitudes; finite ``shots`` draw from a session-held
+        measurement stream.  :meth:`compress` stays clean — the wire
+        payload is what an ideal transmitter would send, the noise lives
+        in the optical pipeline being emulated.
 
     Examples
     --------
@@ -92,6 +103,9 @@ class InferenceSession:
         flush_latency: Optional[float] = 0.005,
         chunk_size: int = 4096,
         pool=None,
+        noise=None,
+        noise_trajectories: int = 8,
+        noise_seed: int = 0,
     ) -> None:
         if chunk_size < 1:
             raise ServingError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -109,6 +123,7 @@ class InferenceSession:
         self._pipeline_op = self._decode_op @ self._encode_op
         for op in (self._encode_op, self._decode_op, self._pipeline_op):
             op.flags.writeable = False
+        self._compile_noise(autoencoder, noise, noise_trajectories, noise_seed)
         self._closed = False
         # Eager, not lazy: a racy first-submit check-then-set could build
         # two batchers and strand one thread's request forever.
@@ -118,6 +133,70 @@ class InferenceSession:
             self,
             max_batch_size=max_batch_size,
             flush_latency=flush_latency,
+        )
+
+    def _compile_noise(
+        self, autoencoder, noise, noise_trajectories, noise_seed
+    ) -> None:
+        """Fold the frozen noise realizations into dense operator pairs."""
+        from repro.noise.model import NoiseModel
+
+        self._noise = NoiseModel.from_spec(noise)
+        self._noise_trajectories = int(noise_trajectories)
+        self._noise_seed = int(noise_seed)
+        self._noisy_encode_ops = []
+        self._noisy_decode_mats = []
+        self._shots_rng = None
+        if self._noise is None:
+            return
+        if self._noise_trajectories < 1:
+            raise ServingError(
+                f"noise_trajectories must be >= 1, got {noise_trajectories}"
+            )
+        if self._renormalize:
+            raise ServingError(
+                "noisy serving supports the paper's renormalize=False "
+                "regime (renormalization would silently cancel loss)"
+            )
+        from repro.noise.trajectory import (
+            STREAM_MEASURE,
+            STREAM_UC,
+            STREAM_UR,
+            realization_rng,
+            sample_mesh_matrix,
+        )
+
+        uc_params = np.asarray(
+            autoencoder.uc.get_flat_params(), dtype=np.float64
+        )
+        ur_params = np.asarray(
+            autoencoder.ur.get_flat_params(), dtype=np.float64
+        )
+        # With no angle jitter every realization is the same deterministic
+        # sub-unitary fold — one pair suffices.
+        count = (
+            self._noise_trajectories if self._noise.theta_sigma > 0.0 else 1
+        )
+        for r in range(count):
+            uc_r = sample_mesh_matrix(
+                autoencoder.uc,
+                uc_params,
+                self._noise,
+                realization_rng(self._noise_seed, 0, r, STREAM_UC),
+            )
+            ur_r = sample_mesh_matrix(
+                autoencoder.ur,
+                ur_params,
+                self._noise,
+                realization_rng(self._noise_seed, 0, r, STREAM_UR),
+            )
+            enc = np.ascontiguousarray(uc_r[self._keep, :])
+            enc.flags.writeable = False
+            ur_r.flags.writeable = False
+            self._noisy_encode_ops.append(enc)
+            self._noisy_decode_mats.append(ur_r)
+        self._shots_rng = realization_rng(
+            self._noise_seed, 0, 0, STREAM_MEASURE
         )
 
     @classmethod
@@ -147,6 +226,16 @@ class InferenceSession:
         """The attached :class:`WorkerPool`, or ``None`` (in-process)."""
         return self._pool
 
+    @property
+    def noise(self):
+        """The :class:`~repro.noise.NoiseModel` emulated, or ``None``."""
+        return self._noise
+
+    @property
+    def noise_trajectories(self) -> int:
+        """Frozen mesh realizations averaged per noisy pass."""
+        return self._noise_trajectories
+
     def pipeline_operator(self) -> np.ndarray:
         """The folded ``U_R P1 U_C`` matrix (a copy; inspection only)."""
         return self._pipeline_op.copy()
@@ -166,16 +255,48 @@ class InferenceSession:
         # Same guard (and cutoff) as the eager CompressionNetwork path.
         return renormalization_norms(codes, ServingError)
 
+    def _noisy_amplitudes(self, phi_batches) -> np.ndarray:
+        """Average exact channel probabilities over the frozen realizations.
+
+        ``phi_batches`` yields one full-space ``(N, M)`` compressed state
+        per realization (paired in order with ``_noisy_decode_mats``);
+        returns the ``sqrt(p)`` magnitude amplitudes after the optional
+        finite-shot measurement of the averaged distribution.
+        """
+        from repro.noise.trajectory import (
+            channel_probabilities,
+            measure_probabilities,
+        )
+
+        probs = None
+        for ur, phi in zip(self._noisy_decode_mats, phi_batches):
+            p, _ = channel_probabilities(ur, phi, self._noise)
+            probs = p if probs is None else probs + p
+        probs /= len(self._noisy_decode_mats)
+        probs = measure_probabilities(probs, self._noise.shots, self._shots_rng)
+        return np.sqrt(np.clip(probs, 0.0, None))
+
+    def _embed_codes(self, codes: np.ndarray) -> np.ndarray:
+        phi = np.zeros((self._dim, codes.shape[1]), dtype=np.float64)
+        phi[self._keep, :] = codes
+        return phi
+
     def reconstruct(self, X: np.ndarray) -> np.ndarray:
         """Serve one ``(M, N)`` tick: encode, one GEMM, decode.
 
         Matches the eager ``QuantumAutoencoder.forward(X).x_hat`` to
         rounding (``<= 1e-10``; the reassociated GEMM vs the per-gate
-        kernels).
+        kernels).  Under a session ``noise`` model the tick instead
+        averages the exact channel probabilities over the frozen noisy
+        realizations of *both* meshes and decodes ``sqrt(p)`` magnitudes.
         """
         encoded = self._codec.encode(np.asarray(X, dtype=np.float64))
         amps = encoded.amplitudes()
-        if self._renormalize:
+        if self._noise is not None:
+            b = self._noisy_amplitudes(
+                self._embed_codes(enc @ amps) for enc in self._noisy_encode_ops
+            )
+        elif self._renormalize:
             codes = self._apply(self._encode_op, amps)
             b = self._apply(self._decode_op, codes / self._code_norms(codes))
         else:
@@ -203,6 +324,17 @@ class InferenceSession:
             raise DimensionError(
                 f"expected ({self._compressed_dim}, M) codes, got "
                 f"{payload.codes.shape}"
+            )
+        if self._noise is not None:
+            # Receiver-side noise only: the codes on the wire are
+            # classical, the reconstruction mesh is the noisy hardware.
+            codes = np.asarray(payload.codes, dtype=np.float64)
+            phi = self._embed_codes(codes)
+            return decode_batch(
+                self._noisy_amplitudes(
+                    phi for _ in self._noisy_decode_mats
+                ),
+                payload.squared_norms,
             )
         return decode_batch(
             self._apply(self._decode_op, payload.codes),
@@ -252,8 +384,16 @@ class InferenceSession:
             "" if self._pool is None
             else f", pool={self._pool.processes} workers"
         )
+        noisy = (
+            ""
+            if self._noise is None
+            else (
+                f", noise={self._noise.spec_string()!r}"
+                f" x{len(self._noisy_decode_mats)}"
+            )
+        )
         return (
             f"InferenceSession(dim={self._dim}, d={self._compressed_dim}, "
             f"renormalize={self._renormalize}, "
-            f"chunk_size={self._chunk_size}{sharding})"
+            f"chunk_size={self._chunk_size}{sharding}{noisy})"
         )

@@ -80,6 +80,17 @@ class CodecSpec:
     #: ``"pool"`` or ``"pool:K"`` — see ``Trainer(parallel=...)``.
     parallel: Optional[str] = None
 
+    # -- hardware-noise model (repro.noise) -----------------------------
+    #: Channel description for noise-aware training and noisy evaluation:
+    #: ``None`` (ideal), a preset name (``"mild" | "lossy" | "harsh"``) or
+    #: a :meth:`repro.noise.NoiseModel.to_json` string.  Stored in the
+    #: canonical form of :meth:`~repro.noise.NoiseModel.spec_string` so
+    #: equal models compare equal as specs.
+    noise: Optional[str] = None
+    #: Jitter realizations averaged per gradient step when ``noise`` has
+    #: ``theta_sigma > 0`` — see ``Trainer(noise_trajectories=...)``.
+    noise_trajectories: int = 8
+
     # -- imaging front-end (repro.imaging, wire format v2) --------------
     #: Tile side ``T`` of the image pipeline; ``None`` means
     #: ``sqrt(dim)`` (the codec eats one ``T^2``-vector per tile).
@@ -126,6 +137,25 @@ class CodecSpec:
             "parallel",
             validate_parallel_spec(self.parallel, NetworkConfigError),
         )
+        # Noise spec normalizes to NoiseModel's canonical string so two
+        # specs describing the same channels hash/compare equal.
+        from repro.exceptions import NoiseError
+        from repro.noise.model import NoiseModel
+
+        try:
+            model = NoiseModel.from_spec(self.noise)
+        except NoiseError as exc:
+            raise NetworkConfigError(f"invalid noise spec: {exc}") from exc
+        object.__setattr__(
+            self, "noise", None if model is None else model.spec_string()
+        )
+        if not isinstance(self.noise_trajectories, int) or isinstance(
+            self.noise_trajectories, bool
+        ) or self.noise_trajectories < 1:
+            raise NetworkConfigError(
+                "noise_trajectories must be an int >= 1, got "
+                f"{self.noise_trajectories!r}"
+            )
         # Imaging front-end knobs (validated here so a spec embedded in a
         # checkpoint can never describe an unusable image pipeline).
         from repro.imaging.tiler import PAD_MODES
@@ -225,6 +255,15 @@ class CodecSpec:
             return Projection.last(self.dim, self.compressed_dim)
         return Projection(self.dim, self.projection)
 
+    def build_noise_model(self):
+        """The :class:`~repro.noise.NoiseModel` this spec describes.
+
+        ``None`` when the spec is ideal (``noise=None``).
+        """
+        from repro.noise.model import NoiseModel
+
+        return NoiseModel.from_spec(self.noise)
+
     def build_autoencoder(self) -> QuantumAutoencoder:
         """A fresh autoencoder, parameters initialised from ``seed``."""
         ae = QuantumAutoencoder(
@@ -274,6 +313,8 @@ class CodecSpec:
             update_reduction=self.loss_mode,
             batch_size=self.batch_size,
             parallel=self.parallel,
+            noise=self.noise,
+            noise_trajectories=self.noise_trajectories,
         )
 
     def build_target_strategy(
@@ -315,4 +356,6 @@ class CodecSpec:
             seed=config.seed,
             batch_size=getattr(config, "batch_size", None),
             parallel=getattr(config, "parallel", None),
+            noise=getattr(config, "noise", None),
+            noise_trajectories=getattr(config, "noise_trajectories", 8),
         )

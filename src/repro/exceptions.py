@@ -24,6 +24,7 @@ __all__ = [
     "DatasetError",
     "DecompositionError",
     "MeasurementError",
+    "NoiseError",
     "SerializationError",
     "ServingError",
     "DeadlineExpired",
@@ -100,6 +101,11 @@ class DecompositionError(ReproError, ValueError):
 
 class MeasurementError(ReproError, ValueError):
     """A measurement was requested with invalid arguments (e.g. shots <= 0)."""
+
+
+class NoiseError(ReproError, ValueError):
+    """A hardware-noise model is invalid (bad field ranges, unknown preset,
+    malformed JSON spec, or a noisy execution path was misconfigured)."""
 
 
 class SerializationError(ReproError, ValueError):

@@ -27,8 +27,8 @@ import numpy as np
 
 from repro.encoding.amplitude import decode_batch
 from repro.experiments.config import PaperConfig
-from repro.optics.interferometer import ImperfectionModel, Interferometer
-from repro.simulator.measurement import estimate_amplitudes
+from repro.noise.model import NoiseModel
+from repro.noise.trajectory import measure_probabilities, sample_mesh_matrix
 from repro.training.gradients import available_gradient_methods, loss_and_gradient
 from repro.training.loss import SquaredErrorLoss
 from repro.training.metrics import paper_accuracy
@@ -213,13 +213,20 @@ def shot_noise_study(
     enc = ae.codec.encode(X)
     out = ae.forward_encoded(enc)
     rng = ensure_rng(seed)
+    probabilities = np.abs(out.output_amplitudes) ** 2
     records = []
     for shots in shots_list:
-        amps = estimate_amplitudes(out.output_amplitudes, shots, rng=rng)
-        x_hat = decode_batch(amps, enc.squared_norms)
+        # The shot budget rides through the first-class NoiseModel (its
+        # validation included); measurement itself is the noise stack's
+        # unbiased sub-normalized-state sampler.
+        model = NoiseModel(shots=None if shots is None else int(shots))
+        estimated = measure_probabilities(probabilities, model.shots, rng)
+        x_hat = decode_batch(
+            np.sqrt(np.clip(estimated, 0.0, None)), enc.squared_norms
+        )
         records.append(
             {
-                "shots": -1 if shots is None else int(shots),
+                "shots": -1 if model.shots is None else int(model.shots),
                 "accuracy_pct": paper_accuracy(x_hat, X),
             }
         )
@@ -232,21 +239,30 @@ def imperfection_study(
     losses: Sequence[float] = (0.0, 0.001, 0.01),
     seed: int = 11,
 ) -> List[Dict[str, Any]]:
-    """Accuracy of a trained pipeline on an imperfect interferometer."""
+    """Accuracy of a trained pipeline on an imperfect interferometer.
+
+    Each grid point is *one* frozen fabrication realization of the
+    :class:`~repro.noise.NoiseModel` (a physical device has its
+    miscalibration baked in), folded into dense sub-unitary meshes by
+    the same :func:`~repro.noise.sample_mesh_matrix` the trajectory
+    execution path averages over.
+    """
     cfg = config or PaperConfig()
     trained = _train_once(cfg)
     ae, X = trained["autoencoder"], trained["X"]
     enc = ae.codec.encode(X)
+    uc_params = np.asarray(ae.uc.get_flat_params(), dtype=np.float64)
+    ur_params = np.asarray(ae.ur.get_flat_params(), dtype=np.float64)
     rng = ensure_rng(seed)
     records = []
     for sigma in theta_sigmas:
         for loss in losses:
-            model = ImperfectionModel(theta_sigma=sigma, loss_per_gate=loss)
-            dev_c = Interferometer.from_network(ae.uc, model, rng=rng)
-            dev_r = Interferometer.from_network(ae.ur, model, rng=rng)
-            compressed = dev_c.apply(enc.amplitudes())
+            model = NoiseModel(theta_sigma=sigma, loss_per_gate=loss)
+            dev_c = sample_mesh_matrix(ae.uc, uc_params, model, rng)
+            dev_r = sample_mesh_matrix(ae.ur, ur_params, model, rng)
+            compressed = dev_c @ enc.amplitudes()
             ae.projection.apply_inplace(compressed)
-            output = dev_r.apply(compressed)
+            output = dev_r @ compressed
             x_hat = decode_batch(output, enc.squared_norms)
             records.append(
                 {

@@ -101,6 +101,57 @@ def _parallel_spec(value: str) -> Optional[str]:
         raise argparse.ArgumentTypeError(str(exc)) from None
 
 
+def _noise_spec(value: str) -> Optional[str]:
+    """argparse type for ``--noise``: a NoiseModel JSON object or preset
+    name, normalized to the canonical spec string."""
+    from repro.noise.model import NoiseModel
+
+    try:
+        model = NoiseModel.from_spec(value)
+    except ReproError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+    return None if model is None else model.spec_string()
+
+
+def _add_noise_args(p: argparse.ArgumentParser) -> None:
+    from repro.noise.model import NOISE_PRESETS
+
+    group = p.add_mutually_exclusive_group()
+    group.add_argument(
+        "--noise",
+        type=_noise_spec,
+        default=None,
+        metavar="JSON",
+        help=(
+            "hardware-noise model as a JSON object, e.g. "
+            "'{\"theta_sigma\": 0.02, \"dephasing\": 0.05}' "
+            "(fields: theta_sigma, loss_per_gate, dephasing, "
+            "depolarizing, shots)"
+        ),
+    )
+    group.add_argument(
+        "--noise-preset",
+        choices=sorted(NOISE_PRESETS),
+        default=None,
+        help="named noise model (see docs/noise.md)",
+    )
+    p.add_argument(
+        "--noise-trajectories",
+        type=int,
+        default=8,
+        metavar="K",
+        help=(
+            "noise realizations averaged per noisy pass / gradient step "
+            "(default 8)"
+        ),
+    )
+
+
+def _noise_from_args(args: argparse.Namespace) -> Optional[str]:
+    """The one noise spec a command received, or ``None`` (ideal)."""
+    return getattr(args, "noise", None) or getattr(args, "noise_preset", None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -242,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
             "'X') instead of the paper dataset"
         ),
     )
+    _add_noise_args(ptr)
 
     pc = sub.add_parser(
         "compress",
@@ -257,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
                     ))
     pc.add_argument("--seed", type=int, default=2024,
                     help="paper-dataset seed when --input is omitted")
+    _add_noise_args(pc)
 
     pd = sub.add_parser(
         "decompress",
@@ -294,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
                          "(0 = until SIGINT/SIGTERM)")
     pv.add_argument("--output", type=str, default=None,
                     help="write the final stats JSON to this file")
+    _add_noise_args(pv)
 
     ps = sub.add_parser(
         "serve-bench",
@@ -307,6 +361,7 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seed", type=int, default=2024)
     ps.add_argument("--output", type=str, default=None,
                     help="write the benchmark JSON to this file")
+    _add_noise_args(ps)
     # -- imaging front-end ----------------------------------------------
     from repro.imaging.tiler import PAD_MODES
     from repro.imaging.transform import TRANSFORMS
@@ -434,6 +489,8 @@ def _run_train(args: argparse.Namespace) -> dict:
         seed=args.seed,
         batch_size=args.batch_size,
         parallel=args.parallel,
+        noise=_noise_from_args(args),
+        noise_trajectories=args.noise_trajectories,
     )
     codec = Codec(spec)
     if args.input:
@@ -446,13 +503,19 @@ def _run_train(args: argparse.Namespace) -> dict:
     codec.fit(X)
     seconds = time.perf_counter() - t0
     written = codec.save(args.checkpoint)
-    metrics = codec.evaluate(X)
+    metrics = codec.evaluate(X, noise=spec.noise)
     assert codec.last_result is not None
     print(f"trained {codec!r} in {seconds:.2f}s "
           f"({args.iterations} iterations)")
     print(f"  L_C={codec.last_result.final_loss_c:.6f} "
           f"L_R={codec.last_result.final_loss_r:.6f} "
           f"accuracy={metrics['accuracy']:.2f}%")
+    if spec.noise is not None:
+        print(f"  under noise {spec.noise}: "
+              f"accuracy={metrics['noisy_accuracy']:.2f}% "
+              f"PSNR={metrics['noisy_psnr_db']:.2f}dB "
+              f"fidelity={metrics['mean_fidelity']:.4f} "
+              f"transmission={metrics['mean_transmission']:.4f}")
     print(f"checkpoint written to {written}")
     _close_backend(codec)
     return {
@@ -486,6 +549,18 @@ def _run_compress(args: argparse.Namespace) -> dict:
           f"(+1 norm scalar) per sample "
           f"({codec.compression_ratio():.0%} ratio)")
     print(f"payload written to {args.output}")
+    noise = _noise_from_args(args)
+    if noise is not None:
+        # Payload itself stays clean (the codes are classical data); the
+        # report says what a noisy optical round trip would reconstruct.
+        noisy = codec.evaluate(
+            X, noise=noise, noise_trajectories=args.noise_trajectories
+        )
+        print(f"noisy round trip under {noise}: "
+              f"accuracy={noisy['noisy_accuracy']:.2f}% "
+              f"PSNR={noisy['noisy_psnr_db']:.2f}dB "
+              f"fidelity={noisy['mean_fidelity']:.4f} "
+              f"transmission={noisy['mean_transmission']:.4f}")
     _close_backend(codec)
     return results
 
@@ -634,7 +709,9 @@ def _run_serve(args: argparse.Namespace) -> dict:
         codec = Codec(seed=args.seed)
     pool = _apply_backend_override(codec, args.backend)
     session = codec.session(
-        max_batch_size=args.max_batch, flush_latency=None, pool=pool
+        max_batch_size=args.max_batch, flush_latency=None, pool=pool,
+        noise=_noise_from_args(args),
+        noise_trajectories=args.noise_trajectories,
     )
 
     def _ready(frontend) -> None:
@@ -684,6 +761,8 @@ def _run_serve_bench(args: argparse.Namespace) -> dict:
     results = measure_serving(
         codec.autoencoder, requests, max_batch_size=args.max_batch,
         pool=pool,
+        noise=_noise_from_args(args),
+        noise_trajectories=args.noise_trajectories,
     )
     print(f"eager   : {results['eager_req_per_s']:10.0f} req/s "
           f"(per-request QuantumAutoencoder.forward)")
@@ -691,6 +770,16 @@ def _run_serve_bench(args: argparse.Namespace) -> dict:
           f"(micro-batched single-GEMM ticks of <= {args.max_batch})")
     print(f"speedup : {results['speedup']:.1f}x "
           f"over {results['ticks']} ticks")
+    if "noise" in results:
+        print(f"noisy   : {results['noisy_req_per_s']:10.0f} req/s "
+              f"under {results['noise']} "
+              f"x{results['noise_trajectories']} realizations")
+        print(f"latency : clean p50={results['clean_p50_ms']:.3f}ms "
+              f"p99={results['clean_p99_ms']:.3f}ms | "
+              f"noisy p50={results['noisy_p50_ms']:.3f}ms "
+              f"p99={results['noisy_p99_ms']:.3f}ms")
+        print(f"penalty : noisy-vs-clean mse "
+              f"{results['noisy_vs_clean_mse']:.3g}")
     _close_backend(codec)
     return results
 

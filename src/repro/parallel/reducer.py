@@ -488,3 +488,50 @@ class GradientReducer:
             values = [w * v for w, v in zip(weights, values)]
             grads = [w * g for w, g in zip(weights, grads)]
         return float(tree_reduce(values)), tree_reduce(grads)
+
+    def noisy_loss_and_gradient(
+        self,
+        network,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        *,
+        model,
+        trajectories: int,
+        seed: int,
+        epoch: int = 0,
+        stream: int = 0,
+        loss=None,
+        projection=None,
+        method: str = "adjoint",
+        delta: Optional[float] = None,
+        engine: Optional[str] = None,
+    ) -> Tuple[float, np.ndarray]:
+        """Noise-averaged ``(loss, grad)``: realizations sharded over the pool.
+
+        Thin front for :func:`repro.noise.training.noisy_loss_and_gradient`
+        with this reducer supplying the workers — each of the
+        ``trajectories`` jitter realizations of the
+        :class:`~repro.noise.model.NoiseModel` evaluates the *full* batch
+        at ``params + eps_r``, keyed on ``(seed, epoch, realization)``
+        only, and the pairs recombine by :func:`tree_reduce` in
+        realization order.  Bitwise-reproducible run-to-run and across
+        pool sizes.
+        """
+        from repro.noise.training import noisy_loss_and_gradient
+
+        return noisy_loss_and_gradient(
+            network,
+            inputs,
+            targets,
+            model=model,
+            trajectories=trajectories,
+            seed=seed,
+            epoch=epoch,
+            stream=stream,
+            loss=loss,
+            projection=projection,
+            method=method,
+            delta=delta,
+            engine=engine,
+            reducer=self,
+        )

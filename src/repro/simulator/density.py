@@ -260,12 +260,18 @@ def depolarizing_channel(dim: int, strength: float) -> List[np.ndarray]:
 
 
 def amplitude_damping_kraus(
-    dim: int, mode: int, gamma: float
+    dim: int, mode: int, gamma: float, herald: bool = False
 ) -> List[np.ndarray]:
     """Photon loss on one mode: amplitude in ``mode`` decays with rate
     ``gamma``; the lost population is *not* re-injected (trace decreases),
     modelling a detector that simply never clicks — renormalise to model
     post-selection.
+
+    ``herald=True`` appends the loss-event operator
+    ``sqrt(gamma) |mode><mode|`` (the environment "heralds" which mode
+    lost its photon), completing the set to an exactly trace-preserving
+    CPTP channel: ``sum_k K_k^dagger K_k = I``.  The default single-Kraus
+    form is the sub-unitary no-click branch the noisy pipeline folds.
     """
     if not 0.0 <= gamma <= 1.0:
         raise DimensionError(f"gamma must be in [0, 1], got {gamma}")
@@ -273,4 +279,9 @@ def amplitude_damping_kraus(
         raise DimensionError(f"mode {mode} out of range for dim {dim}")
     keep = np.eye(dim, dtype=np.complex128)
     keep[mode, mode] = np.sqrt(1.0 - gamma)
-    return [keep]
+    ops = [keep]
+    if herald:
+        flag = np.zeros((dim, dim), dtype=np.complex128)
+        flag[mode, mode] = np.sqrt(gamma)
+        ops.append(flag)
+    return ops

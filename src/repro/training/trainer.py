@@ -241,6 +241,21 @@ class Trainer:
         deterministically.  The schedule, history and callbacks are
         identical to single-process training at the same batch order;
         see ``docs/training.md``.
+    noise:
+        Noise-aware training: a :class:`~repro.noise.model.NoiseModel`
+        (or any spec :meth:`NoiseModel.from_spec` accepts — preset name,
+        JSON string, dict); ``None`` trains noise-blind.  With angle
+        jitter (``theta_sigma > 0``) every gradient step averages the
+        exact gradient over ``noise_trajectories`` frozen-jitter
+        realizations — the gradient of the realization-averaged loss —
+        sharded over the worker pool when ``parallel`` is active and
+        bitwise-reproducible given ``(batch_seed, noise, iteration)`` at
+        any pool size (see :mod:`repro.noise.training` and
+        ``docs/noise.md``).  The parameter-independent channels (loss,
+        dephasing, depolarizing, shots) enter evaluation, not the
+        gradient.
+    noise_trajectories:
+        Realization count ``K`` per noisy gradient step (default 8).
 
     Examples
     --------
@@ -270,6 +285,8 @@ class Trainer:
         backend: Optional[str] = None,
         grad_engine: Optional[str] = None,
         parallel: Optional[str] = None,
+        noise=None,
+        noise_trajectories: int = 8,
     ) -> None:
         if iterations < 1:
             raise TrainingError(f"iterations must be >= 1, got {iterations}")
@@ -314,7 +331,16 @@ class Trainer:
         from repro.parallel.reducer import validate_parallel_spec
 
         self.parallel = validate_parallel_spec(parallel, TrainingError)
+        from repro.noise.model import NoiseModel
+
+        self.noise = NoiseModel.from_spec(noise)
+        if noise_trajectories < 1:
+            raise TrainingError(
+                f"noise_trajectories must be >= 1, got {noise_trajectories}"
+            )
+        self.noise_trajectories = int(noise_trajectories)
         self._reducer = None
+        self._iteration = 0
         # Fused jax train steps, keyed per (network, optimizer) pair for
         # the duration of one train() call — see _fused_step_for.
         self._fused_steps: dict = {}
@@ -362,6 +388,7 @@ class Trainer:
         )
         self._reducer = reducer
         self._fused_steps = {}
+        self._iteration = 0
         try:
             if self.schedule == "joint":
                 history = self._train_joint(
@@ -411,6 +438,7 @@ class Trainer:
         """
         if (
             self._reducer is not None
+            or self._noise_jitter_active()
             or self.gradient_method != "adjoint"
             or self.grad_engine not in (None, "batched")
         ):
@@ -426,6 +454,10 @@ class Trainer:
             self._fused_steps[key] = step if step is not None else False
         return step or None
 
+    def _noise_jitter_active(self) -> bool:
+        """True when gradient steps must average over jitter realizations."""
+        return self.noise is not None and self.noise.theta_sigma > 0.0
+
     def _grad_step(
         self,
         network: QuantumNetwork,
@@ -433,11 +465,31 @@ class Trainer:
         inputs: np.ndarray,
         targets: np.ndarray,
         projection,
+        stream: int = 0,
     ) -> tuple[float, float]:
         fused = self._fused_step_for(network, optimizer, projection)
         if fused is not None:
             return fused.run(inputs, targets)
-        if self._reducer is not None:
+        if self._noise_jitter_active():
+            from repro.noise.training import noisy_loss_and_gradient
+
+            loss_val, grad = noisy_loss_and_gradient(
+                network,
+                inputs,
+                targets,
+                model=self.noise,
+                trajectories=self.noise_trajectories,
+                seed=self.batch_seed,
+                epoch=self._iteration,
+                stream=stream,
+                loss=self._update_loss,
+                projection=projection,
+                method=self.gradient_method,
+                delta=self.fd_delta,
+                engine=self.grad_engine,
+                reducer=self._reducer,
+            )
+        elif self._reducer is not None:
             loss_val, grad = self._reducer.loss_and_gradient(
                 network,
                 inputs,
@@ -550,6 +602,7 @@ class Trainer:
             batch_iter = stream.batches(self.iterations)
         try:
             for it in range(self.iterations):
+                self._iteration = it
                 if batch_iter is not None:
                     mb = next(batch_iter)
                     x_c, t_c = mb.arrays
@@ -563,6 +616,7 @@ class Trainer:
                     x_c,
                     t_c,
                     autoencoder.projection,
+                    stream=0,
                 )
                 # U_R trains on the same inputs inference feeds it,
                 # including the renormalize (post-selection) variant.
@@ -570,7 +624,7 @@ class Trainer:
                     x_c, renormalize=autoencoder.renormalize
                 )
                 loss_r, gnorm_r = self._grad_step(
-                    autoencoder.ur, opt_r, compressed, r_target, None
+                    autoencoder.ur, opt_r, compressed, r_target, None, stream=1
                 )
                 record = self._record_iteration(
                     history,
@@ -620,12 +674,14 @@ class Trainer:
         opt_c = self.optimizer_factory()
         grad_norms_c: List[float] = []
         for it in range(self.iterations):
+            self._iteration = it
             loss_c, gnorm_c = self._grad_step(
                 autoencoder.uc,
                 opt_c,
                 a_in,
                 b_targets,
                 autoencoder.projection,
+                stream=0,
             )
             history.loss_c.append(loss_c * scale)
             grad_norms_c.append(gnorm_c)
@@ -639,8 +695,9 @@ class Trainer:
         )
         opt_r = self.optimizer_factory()
         for it in range(self.iterations):
+            self._iteration = it
             loss_r, gnorm_r = self._grad_step(
-                autoencoder.ur, opt_r, compressed, a_in, None
+                autoencoder.ur, opt_r, compressed, a_in, None, stream=1
             )
             history.loss_r.append(loss_r * scale)
             history.grad_norm_c.append(grad_norms_c[it])

@@ -1,0 +1,137 @@
+"""Property-based tests for repro.simulator.density channel builders.
+
+Hypothesis sweeps dimensions, strengths and random mixed states to pin
+the algebraic contracts the noise stack (repro.noise) builds on: Kraus
+completeness, trace behaviour, positivity, and fidelity bounds.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.density import (
+    DensityMatrix,
+    amplitude_damping_kraus,
+    dephasing_channel,
+    depolarizing_channel,
+)
+
+dims = st.integers(min_value=2, max_value=6)
+strengths = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _kraus_sum(ops):
+    """``sum_k K_k^dagger K_k``."""
+    return sum(op.conj().T @ op for op in ops)
+
+
+def _random_rho(dim: int, seed: int) -> DensityMatrix:
+    """A full-rank-ish random mixed state, deterministic in ``seed``."""
+    rng = np.random.default_rng(seed)
+    states = rng.normal(size=(3, dim)) + 1j * rng.normal(size=(3, dim))
+    weights = rng.uniform(0.1, 1.0, size=3)
+    weights /= weights.sum()
+    rho = sum(
+        w * np.outer(s / np.linalg.norm(s), (s / np.linalg.norm(s)).conj())
+        for w, s in zip(weights, states)
+    )
+    return DensityMatrix(rho, validate=False)
+
+
+class TestKrausCompleteness:
+    """``sum K^dag K = I`` — every CPTP builder is exactly complete."""
+
+    @settings(max_examples=40)
+    @given(dim=dims, strength=strengths)
+    def test_dephasing_complete(self, dim, strength):
+        total = _kraus_sum(dephasing_channel(dim, strength))
+        assert np.allclose(total, np.eye(dim), atol=1e-12)
+
+    @settings(max_examples=25)
+    @given(dim=dims, strength=strengths)
+    def test_depolarizing_complete(self, dim, strength):
+        total = _kraus_sum(depolarizing_channel(dim, strength))
+        assert np.allclose(total, np.eye(dim), atol=1e-10)
+
+    @settings(max_examples=40)
+    @given(dim=dims, gamma=strengths, data=st.data())
+    def test_amplitude_damping_heralded_complete(self, dim, gamma, data):
+        mode = data.draw(st.integers(min_value=0, max_value=dim - 1))
+        total = _kraus_sum(amplitude_damping_kraus(dim, mode, gamma, herald=True))
+        assert np.allclose(total, np.eye(dim), atol=1e-12)
+
+    @settings(max_examples=40)
+    @given(dim=dims, gamma=strengths, data=st.data())
+    def test_amplitude_damping_default_subunitary(self, dim, gamma, data):
+        # The default single-Kraus branch is trace-*decreasing* by exactly
+        # gamma on the damped mode — never trace-increasing.
+        mode = data.draw(st.integers(min_value=0, max_value=dim - 1))
+        total = _kraus_sum(amplitude_damping_kraus(dim, mode, gamma))
+        expected = np.eye(dim, dtype=np.complex128)
+        expected[mode, mode] = 1.0 - gamma
+        assert np.allclose(total, expected, atol=1e-12)
+
+
+class TestChannelAction:
+    """apply_kraus of a complete set preserves trace and positivity."""
+
+    @settings(max_examples=25)
+    @given(dim=dims, strength=strengths, seed=seeds)
+    def test_dephasing_trace_and_psd(self, dim, strength, seed):
+        rho = _random_rho(dim, seed)
+        out = rho.apply_kraus(dephasing_channel(dim, strength))
+        assert abs(float(np.real(np.trace(out.matrix))) - 1.0) < 1e-10
+        assert np.linalg.eigvalsh(out.matrix).min() > -1e-10
+
+    @settings(max_examples=15)
+    @given(dim=dims, strength=strengths, seed=seeds)
+    def test_depolarizing_trace_and_psd(self, dim, strength, seed):
+        rho = _random_rho(dim, seed)
+        out = rho.apply_kraus(depolarizing_channel(dim, strength))
+        assert abs(float(np.real(np.trace(out.matrix))) - 1.0) < 1e-8
+        assert np.linalg.eigvalsh(out.matrix).min() > -1e-8
+
+    @settings(max_examples=25)
+    @given(dim=dims, gamma=strengths, seed=seeds, data=st.data())
+    def test_heralded_damping_trace_and_psd(self, dim, gamma, seed, data):
+        mode = data.draw(st.integers(min_value=0, max_value=dim - 1))
+        rho = _random_rho(dim, seed)
+        out = rho.apply_kraus(
+            amplitude_damping_kraus(dim, mode, gamma, herald=True)
+        )
+        assert abs(float(np.real(np.trace(out.matrix))) - 1.0) < 1e-10
+        assert np.linalg.eigvalsh(out.matrix).min() > -1e-10
+
+    @settings(max_examples=25)
+    @given(dim=dims, strength=strengths, seed=seeds)
+    def test_depolarizing_matches_closed_form(self, dim, strength, seed):
+        # The generalized-Pauli construction realises exactly
+        # (1-p) rho + p I/N — the identity the probability-space channel
+        # formula in repro.noise.trajectory relies on.
+        rho = _random_rho(dim, seed)
+        out = rho.apply_kraus(depolarizing_channel(dim, strength))
+        expected = (1.0 - strength) * rho.matrix + strength * np.eye(dim) / dim
+        assert np.allclose(out.matrix, expected, atol=1e-9)
+
+
+class TestFidelityBounds:
+    @settings(max_examples=40)
+    @given(dim=dims, seed=seeds)
+    def test_fidelity_with_pure_in_unit_interval(self, dim, seed):
+        rng = np.random.default_rng(seed + 1)
+        rho = _random_rho(dim, seed)
+        psi = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+        fid = rho.fidelity_with_pure(psi)
+        assert -1e-12 <= fid <= 1.0 + 1e-12
+
+    @settings(max_examples=25)
+    @given(dim=dims, seed=seeds)
+    def test_fidelity_of_own_eigenvector_vs_purity(self, dim, seed):
+        # <psi|rho|psi> maximised over pure psi equals the top eigenvalue.
+        rho = _random_rho(dim, seed)
+        eigvals, eigvecs = np.linalg.eigh(rho.matrix)
+        top = eigvecs[:, -1]
+        assert abs(rho.fidelity_with_pure(top) - eigvals[-1]) < 1e-9

@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.baselines",
     "repro.data",
     "repro.experiments",
+    "repro.noise",
     "repro.parallel",
     "repro.imaging",
     "repro.io",

@@ -2,8 +2,8 @@
 
 The perf trajectory of this repo lives in the JSON the gated benchmarks
 emit (``bench_backends``, ``bench_gradients``, ``bench_serving``,
-``bench_sharding``, ``bench_jit``, ``bench_training`` — each a standalone
-``main(argv) -> exit code`` script writing a payload).  Before this tool
+``bench_sharding``, ``bench_jit``, ``bench_training``, ``bench_noise`` —
+each a standalone ``main(argv) -> exit code`` script writing a payload).  Before this tool
 each produced its own artifact; now one invocation runs the whole
 directory and merges everything into ``BENCH_<rev>.json`` (``<rev>`` =
 short git revision), so each PR leaves exactly one comparable snapshot

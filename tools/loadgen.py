@@ -23,6 +23,12 @@ tile-coefficient vectors from the :mod:`repro.imaging` front-end
 grayscale scene) instead of the default abs-normal noise — the vector
 statistics a codec serving the image pipeline actually sees.
 
+When the target server was launched with a noise model (``repro serve
+--noise ...``), pass the same ``--noise`` / ``--noise-preset`` (and
+``--noise-trajectories``) here: the spec is validated, canonicalised
+and stamped into the summary JSON, so noisy and clean load runs stay
+comparable side by side.
+
 The module is importable (``run_load``) — ``benchmarks/bench_frontend.py``
 reuses it so the CI gate and the operator tool measure identically.
 """
@@ -237,9 +243,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "noise, or 'image' tile-coefficient vectors "
                              "from the repro.imaging front half")
     parser.add_argument("--seed", type=int, default=7)
+    noise = parser.add_mutually_exclusive_group()
+    noise.add_argument("--noise", type=str, default=None, metavar="JSON",
+                       help="NoiseModel the target server was launched "
+                            "with (annotates the summary so noisy and "
+                            "clean runs compare apples-to-apples)")
+    noise.add_argument("--noise-preset", type=str, default=None,
+                       help="named noise model (mild | lossy | harsh)")
+    parser.add_argument("--noise-trajectories", type=int, default=8,
+                        metavar="K",
+                        help="server-side realizations per noisy pass "
+                             "(annotation only)")
     parser.add_argument("--json", type=str, default=None,
                         help="write the summary JSON to this file")
     args = parser.parse_args(argv)
+
+    noise_spec = args.noise or args.noise_preset
+    if noise_spec is not None:
+        from repro.noise.model import NoiseModel
+
+        # Validate and canonicalise before the run, so a typo fails
+        # fast instead of labelling five minutes of load with garbage.
+        noise_spec = NoiseModel.from_spec(noise_spec).spec_string()
 
     summary = asyncio.run(run_load(
         host=args.host,
@@ -252,6 +277,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=args.seed,
         payload=args.payload,
     ))
+    if noise_spec is not None:
+        summary["noise"] = noise_spec
+        summary["noise_trajectories"] = args.noise_trajectories
     print(json.dumps(summary, indent=2, sort_keys=True))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
